@@ -1,0 +1,95 @@
+// fastiov-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fastiov-bench -list
+//	fastiov-bench -experiment fig11
+//	fastiov-bench -experiment all -n 100
+//	fastiov-bench -experiment fig12 -csv
+//
+// With -n <= 0 every experiment runs at its paper-default parameters
+// (concurrency 200 for the headline results). -csv emits the table as CSV
+// instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fastiov"
+)
+
+// sanitize maps an experiment id to a safe file stem.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			return r
+		case r == '.':
+			return '_'
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list), comma list, or 'all'")
+		n          = flag.Int("n", 0, "concurrency override (<=0 = paper defaults)")
+		csv        = flag.Bool("csv", false, "emit tables as CSV")
+		outDir     = flag.String("out", "", "also write each experiment's table as CSV into this directory")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fastiov-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	suite := fastiov.Experiments()
+	if *list {
+		for _, e := range suite {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if *experiment == "all" {
+		for _, e := range suite {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*experiment, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := fastiov.RunExperiment(id, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fastiov-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv && rep.Table != nil {
+			fmt.Printf("# %s: %s\n%s", rep.ID, rep.Title, rep.Table.CSV())
+		} else {
+			fmt.Print(rep.String())
+		}
+		if *outDir != "" && rep.Table != nil {
+			path := filepath.Join(*outDir, sanitize(rep.ID)+".csv")
+			if err := os.WriteFile(path, []byte(rep.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "fastiov-bench:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,207 @@
+// Package fastiov is the public API of the FastIOV reproduction (EuroSys
+// '25: "FastIOV: Fast Startup of Passthrough Network I/O Virtualization for
+// Secure Containers").
+//
+// The package exposes three layers:
+//
+//   - The simulated testbed: build a Host (cluster of kernel modules, NIC,
+//     VFIO, KVM, fastiovd, CNI, container engine) for any evaluation
+//     baseline and run concurrent-startup experiments (NewHost, RunBaseline).
+//   - The experiment suite: regenerate every table and figure of the
+//     paper's evaluation (Experiments, RunExperiment).
+//   - The real concurrency libraries extracted from the paper's two
+//     generalizable techniques: the hierarchical parent-child lock
+//     framework (§4.2.1) and the decoupled lazy-zeroing arena (§4.3.2),
+//     re-exported from internal/locks and internal/zeromem.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package fastiov
+
+import (
+	"fmt"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/experiments"
+	"fastiov/internal/locks"
+	"fastiov/internal/serverless"
+	"fastiov/internal/zeromem"
+)
+
+// Re-exported testbed types.
+type (
+	// Host is a fully wired simulated machine.
+	Host = cluster.Host
+	// HostSpec sizes the machine (cores, memory, NIC, VF count).
+	HostSpec = cluster.HostSpec
+	// Options selects baseline behaviour and the four FastIOV switches.
+	Options = cluster.Options
+	// Result is one startup experiment's outcome.
+	Result = cluster.Result
+	// Report is one paper-figure experiment's rendered outcome.
+	Report = experiments.Report
+	// App is a serverless benchmark descriptor.
+	App = serverless.App
+)
+
+// Re-exported real concurrency primitives.
+type (
+	// ParentChildLock is the hierarchical lock decomposition framework.
+	ParentChildLock = locks.ParentChild
+	// ChildLock is one child node's lock.
+	ChildLock = locks.Child
+	// Devset is the framework applied to the VFIO devset shape.
+	Devset = locks.Devset
+	// Arena is the real lazy-zeroing page arena.
+	Arena = zeromem.Arena
+	// ZeroRegistry is the two-tier deferred-zeroing table over an Arena.
+	ZeroRegistry = zeromem.Registry
+)
+
+// Baseline names (§6.1).
+const (
+	BaselineNoNet    = cluster.BaselineNoNet
+	BaselineVanilla  = cluster.BaselineVanilla
+	BaselineRebind   = cluster.BaselineRebind
+	BaselineFastIOV  = cluster.BaselineFastIOV
+	BaselineFastIOVL = cluster.BaselineFastIOVL
+	BaselineFastIOVA = cluster.BaselineFastIOVA
+	BaselineFastIOVS = cluster.BaselineFastIOVS
+	BaselineFastIOVD = cluster.BaselineFastIOVD
+	BaselinePre10    = cluster.BaselinePre10
+	BaselinePre50    = cluster.BaselinePre50
+	BaselinePre100   = cluster.BaselinePre100
+	BaselineIPvtap   = cluster.BaselineIPvtap
+)
+
+// Baselines lists every Fig. 11 configuration in presentation order.
+func Baselines() []string { return cluster.Baselines() }
+
+// OptionsFor returns the Options of a named baseline.
+func OptionsFor(name string) (Options, error) { return cluster.OptionsFor(name) }
+
+// DefaultHostSpec mirrors the paper's testbed (2x Xeon 6348, 256 GB, Intel
+// E810 with 256 VFs).
+func DefaultHostSpec() HostSpec { return cluster.DefaultHostSpec() }
+
+// NewHost boots a simulated machine.
+func NewHost(spec HostSpec, opts Options) (*Host, error) { return cluster.NewHost(spec, opts) }
+
+// RunBaseline boots a default host for the named baseline and concurrently
+// starts n secure containers.
+func RunBaseline(name string, n int) (*Result, error) { return cluster.RunBaseline(name, n) }
+
+// Apps returns the four SeBS benchmark descriptors (§6.6).
+func Apps() []App { return serverless.Apps() }
+
+// NewArena allocates a lazy-zeroing arena of pages x pageSize bytes.
+func NewArena(pages, pageSize int) *Arena { return zeromem.NewArena(pages, pageSize) }
+
+// NewZeroRegistry wraps an arena with the two-tier deferred-zeroing table.
+func NewZeroRegistry(a *Arena) *ZeroRegistry { return zeromem.NewRegistry(a) }
+
+// NewDevset builds a parent-child-locked devset with n members.
+func NewDevset(n int) *Devset { return locks.NewDevset(n) }
+
+// Experiment is one entry of the paper-reproduction suite.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment at its paper-default parameters when
+	// n <= 0, or at concurrency n where applicable.
+	Run func(n int) (*Report, error)
+}
+
+// Experiments returns the full suite, one entry per paper table/figure.
+func Experiments() []Experiment {
+	defConc := func(n int) []int {
+		if n > 0 {
+			return []int{10, 50, n}
+		}
+		return nil
+	}
+	pick := func(n, def int) int {
+		if n > 0 {
+			return n
+		}
+		return def
+	}
+	return []Experiment{
+		{"fig1", "SR-IOV overhead vs concurrency", func(n int) (*Report, error) {
+			return experiments.Fig1(defConc(n))
+		}},
+		{"fig5", "Startup timeline breakdown", func(n int) (*Report, error) {
+			return experiments.Fig5(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"tab1", "Stage time proportions", func(n int) (*Report, error) {
+			return experiments.Table1(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"fig11", "Average startup time, all baselines", func(n int) (*Report, error) {
+			return experiments.Fig11(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"fig12", "Startup time distribution", func(n int) (*Report, error) {
+			return experiments.Fig12(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"fig13a", "Impact of concurrency", func(n int) (*Report, error) {
+			return experiments.Fig13a(defConc(n))
+		}},
+		{"fig13b", "Impact of memory allocation", func(n int) (*Report, error) {
+			return experiments.Fig13b(nil, pick(n, 50))
+		}},
+		{"fig13c", "Fully loaded server", func(n int) (*Report, error) {
+			return experiments.Fig13c(defConc(n))
+		}},
+		{"fig14", "Comparison with software CNI", func(n int) (*Report, error) {
+			return experiments.Fig14(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"sec6.5", "Memory access performance", func(n int) (*Report, error) {
+			return experiments.MemPerf()
+		}},
+		{"fig15", "Serverless application performance", func(n int) (*Report, error) {
+			return experiments.Fig15(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"fig16a-d", "Serverless apps vs concurrency", func(n int) (*Report, error) {
+			return experiments.Fig16Concurrency(defConc(n))
+		}},
+		{"fig16e-h", "Serverless apps vs memory", func(n int) (*Report, error) {
+			return experiments.Fig16Memory(nil, pick(n, 50))
+		}},
+		{"fig16i-l", "Serverless apps, fully loaded", func(n int) (*Report, error) {
+			return experiments.Fig16FullyLoaded(defConc(n))
+		}},
+		// Ablations beyond the paper's figures (DESIGN.md §4) and the §7
+		// future-work investigation.
+		{"abl-busscan", "Devset bus-scan cost vs VF population", func(n int) (*Report, error) {
+			return experiments.AblationBusScan(pick(n, 50), nil)
+		}},
+		{"abl-pagesize", "DMA retrieval vs page size (P2, Fig. 6)", func(n int) (*Report, error) {
+			return experiments.AblationPageSize(pick(n, 10))
+		}},
+		{"abl-scrubber", "fastiovd background scrubber", func(n int) (*Report, error) {
+			return experiments.AblationScrubber(pick(n, 50))
+		}},
+		{"abl-slotreset", "Devset contention vs reset capability", func(n int) (*Report, error) {
+			return experiments.AblationSlotReset(pick(n, 100))
+		}},
+		{"future-vdpa", "vDPA control plane (§7)", func(n int) (*Report, error) {
+			return experiments.FutureVDPA(pick(n, experiments.DefaultConcurrency))
+		}},
+		{"bg-dataplane", "Data-plane receive path (§1 premise)", func(n int) (*Report, error) {
+			return experiments.DataPlane(0, nil)
+		}},
+		{"ext-arrivals", "Arrival-pattern sensitivity", func(n int) (*Report, error) {
+			return experiments.ExtArrivals(pick(n, experiments.DefaultConcurrency))
+		}},
+	}
+}
+
+// RunExperiment executes the suite entry with the given id. n <= 0 selects
+// the paper-default parameters.
+func RunExperiment(id string, n int) (*Report, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(n)
+		}
+	}
+	return nil, fmt.Errorf("fastiov: unknown experiment %q", id)
+}

@@ -1,0 +1,3 @@
+module fastiov
+
+go 1.22

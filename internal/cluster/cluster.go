@@ -1,0 +1,431 @@
+// Package cluster assembles complete simulated hosts — CPU pool, memory,
+// PCI topology, NIC, VFIO, KVM, fastiovd, CNI plugin, container engine —
+// and runs the concurrent-startup experiments of the paper's evaluation.
+//
+// A Host mirrors the paper's testbed (§3.1): two Xeon 6348 sockets
+// (56 cores / 112 threads), 256 GB DDR4-3200, and a 25 GbE Intel E810 with
+// 256 VFs. Baselines (§6.1) are expressed as Options combinations.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fastiov/internal/cni"
+	"fastiov/internal/cri"
+	"fastiov/internal/fastiovd"
+	"fastiov/internal/guest"
+	"fastiov/internal/hostmem"
+	"fastiov/internal/hypervisor"
+	"fastiov/internal/iommu"
+	"fastiov/internal/kvm"
+	"fastiov/internal/nic"
+	"fastiov/internal/pci"
+	"fastiov/internal/sim"
+	"fastiov/internal/stats"
+	"fastiov/internal/telemetry"
+	"fastiov/internal/vfio"
+)
+
+// NetworkMode selects the sandbox networking path.
+type NetworkMode uint8
+
+const (
+	// NetNone starts sandboxes without networking (the No-Net baseline).
+	NetNone NetworkMode = iota
+	// NetSRIOV uses SR-IOV passthrough.
+	NetSRIOV
+	// NetIPvtap uses the software CNI baseline.
+	NetIPvtap
+)
+
+// HostSpec sizes the simulated machine.
+type HostSpec struct {
+	Cores  int64
+	Memory hostmem.Config
+	NIC    nic.Config
+	NumVFs int
+}
+
+// DefaultHostSpec mirrors the paper's testbed.
+func DefaultHostSpec() HostSpec {
+	return HostSpec{
+		Cores:  112,
+		Memory: hostmem.DefaultConfig(),
+		NIC:    nic.DefaultConfig(),
+		NumVFs: 256,
+	}
+}
+
+// Options selects the networking mode, the four FastIOV optimization
+// switches (§4), and baseline behaviours.
+type Options struct {
+	Name    string
+	Network NetworkMode
+
+	// The four FastIOV optimizations (§6.1's ablation removes them one at
+	// a time).
+	LockDecomposition bool // L: parent-child devset locking
+	AsyncVFInit       bool // A: asynchronous VF driver initialization
+	SkipImageMap      bool // S: skip image-region DMA mapping
+	LazyZeroing       bool // D: decoupled (lazy) zeroing via fastiovd
+
+	// RebindFlaw enables the upstream SR-IOV CNI's per-start driver
+	// rebinding (§5); all evaluation baselines have it fixed.
+	RebindFlaw bool
+
+	// VDPA routes the control plane through vhost-vdpa instead of VFIO
+	// device open (§7's future-work direction).
+	VDPA bool
+
+	// DisableScrubber turns off fastiovd's background zeroing thread
+	// (ablation: first touches then carry the whole deferred cost).
+	DisableScrubber bool
+
+	// PreZeroFraction pre-zeroes this fraction of free memory at boot
+	// (the HawkEye-style Pre10/Pre50/Pre100 baselines).
+	PreZeroFraction float64
+
+	// Layout is the per-container guest memory geometry.
+	Layout hypervisor.Layout
+
+	// Seed drives start-time jitter.
+	Seed uint64
+	// StartJitter is the max random offset between container invocations
+	// ("over 200 container invocation requests can arrive nearly
+	// simultaneously", §1). Used by the default burst arrival process.
+	StartJitter time.Duration
+	// Arrival selects the invocation arrival process (default: burst).
+	Arrival Arrival
+}
+
+// ArrivalKind names an invocation arrival process.
+type ArrivalKind uint8
+
+const (
+	// ArrivalBurst models the paper's production statistic: all requests
+	// arrive nearly simultaneously, within StartJitter.
+	ArrivalBurst ArrivalKind = iota
+	// ArrivalPoisson models a memoryless request stream at RatePerSec.
+	ArrivalPoisson
+	// ArrivalUniform spreads requests evenly over Window.
+	ArrivalUniform
+)
+
+// Arrival parameterizes the invocation arrival process.
+type Arrival struct {
+	Kind       ArrivalKind
+	RatePerSec float64       // Poisson intensity
+	Window     time.Duration // uniform spread
+}
+
+// times generates n arrival offsets under the configured process.
+func (a Arrival) times(rng *sim.Rand, n int, jitter time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	switch a.Kind {
+	case ArrivalPoisson:
+		rate := a.RatePerSec
+		if rate <= 0 {
+			rate = 100
+		}
+		t := 0.0
+		for i := 0; i < n; i++ {
+			// Exponential inter-arrival: -ln(U)/rate.
+			u := rng.Float64()
+			for u == 0 {
+				u = rng.Float64()
+			}
+			t += -math.Log(u) / rate
+			out[i] = time.Duration(t * float64(time.Second))
+		}
+	case ArrivalUniform:
+		w := a.Window
+		if w <= 0 {
+			w = 10 * time.Second
+		}
+		if n > 1 {
+			for i := 0; i < n; i++ {
+				out[i] = time.Duration(int64(w) * int64(i) / int64(n-1))
+			}
+		}
+	default: // burst
+		for i := 0; i < n; i++ {
+			out[i] = rng.Duration(jitter)
+		}
+	}
+	return out
+}
+
+// Baseline names, matching §6.1.
+const (
+	BaselineNoNet    = "no-net"
+	BaselineVanilla  = "vanilla"
+	BaselineRebind   = "vanilla-rebind"
+	BaselineFastIOV  = "fastiov"
+	BaselineFastIOVL = "fastiov-L"
+	BaselineFastIOVA = "fastiov-A"
+	BaselineFastIOVS = "fastiov-S"
+	BaselineFastIOVD = "fastiov-D"
+	BaselinePre10    = "pre10"
+	BaselinePre50    = "pre50"
+	BaselinePre100   = "pre100"
+	BaselineIPvtap   = "ipvtap"
+	// BaselineVDPA is not part of Fig. 11; it drives the §7 future-work
+	// investigation (vanilla zeroing + vhost-vdpa control plane).
+	BaselineVDPA = "vdpa"
+)
+
+// Baselines lists every configuration of Fig. 11 in presentation order.
+func Baselines() []string {
+	return []string{
+		BaselineNoNet, BaselineVanilla,
+		BaselineFastIOVL, BaselineFastIOVA, BaselineFastIOVS, BaselineFastIOVD,
+		BaselinePre10, BaselinePre50, BaselinePre100,
+		BaselineFastIOV,
+	}
+}
+
+// OptionsFor returns the Options for a named baseline.
+func OptionsFor(name string) (Options, error) {
+	o := Options{
+		Name:        name,
+		Network:     NetSRIOV,
+		Layout:      hypervisor.DefaultLayout(),
+		Seed:        1,
+		StartJitter: 50 * time.Millisecond,
+	}
+	all := func() {
+		o.LockDecomposition = true
+		o.AsyncVFInit = true
+		o.SkipImageMap = true
+		o.LazyZeroing = true
+	}
+	switch name {
+	case BaselineNoNet:
+		o.Network = NetNone
+	case BaselineVanilla:
+	case BaselineRebind:
+		o.RebindFlaw = true
+	case BaselineFastIOV:
+		all()
+	case BaselineFastIOVL:
+		all()
+		o.LockDecomposition = false
+	case BaselineFastIOVA:
+		all()
+		o.AsyncVFInit = false
+	case BaselineFastIOVS:
+		all()
+		o.SkipImageMap = false
+	case BaselineFastIOVD:
+		all()
+		o.LazyZeroing = false
+	case BaselinePre10:
+		o.PreZeroFraction = 0.10
+	case BaselinePre50:
+		o.PreZeroFraction = 0.50
+	case BaselinePre100:
+		o.PreZeroFraction = 1.00
+	case BaselineIPvtap:
+		o.Network = NetIPvtap
+	case BaselineVDPA:
+		o.VDPA = true
+	default:
+		return Options{}, fmt.Errorf("cluster: unknown baseline %q", name)
+	}
+	return o, nil
+}
+
+// Host is one fully wired machine.
+type Host struct {
+	K    *sim.Kernel
+	Spec HostSpec
+	Opts Options
+
+	Mem  *hostmem.Allocator
+	Topo *pci.Topology
+	NIC  *nic.NIC
+	MMU  *iommu.IOMMU
+	VFIO *vfio.Driver
+	KVM  *kvm.KVM
+	Lazy *fastiovd.Module // nil unless LazyZeroing
+	CPU  *sim.Resource
+	Env  *hypervisor.Env
+	Eng  *cri.Engine
+	Rec  *telemetry.Recorder
+
+	RTNL       *sim.Mutex
+	CgroupLock *sim.Mutex
+	IrqLock    *sim.Mutex
+}
+
+// NewHost boots a machine: creates the hardware, pre-creates the VFs, and
+// binds them to the driver the configuration requires (vfio-pci once at
+// boot for the fixed CNIs; unbound for the flawed rebinding CNI).
+func NewHost(spec HostSpec, opts Options) (*Host, error) {
+	k := sim.NewKernel(opts.Seed)
+	h := &Host{
+		K:          k,
+		Spec:       spec,
+		Opts:       opts,
+		Mem:        hostmem.New(k, spec.Memory),
+		Topo:       pci.NewTopology(),
+		CPU:        sim.NewResource("cpu", spec.Cores),
+		Rec:        telemetry.NewRecorder(),
+		RTNL:       sim.NewMutex("rtnl"),
+		CgroupLock: sim.NewMutex("cgroup"),
+		IrqLock:    sim.NewMutex("irq-routing"),
+	}
+	h.MMU = iommu.New(k, h.Mem.PageSize())
+	h.NIC = nic.New(k, h.Topo, spec.NIC)
+	if err := h.NIC.CreateVFs(nil, spec.NumVFs, h.Topo); err != nil {
+		return nil, err
+	}
+	mode := vfio.LockGlobal
+	if opts.LockDecomposition {
+		mode = vfio.LockParentChild
+	}
+	h.VFIO = vfio.New(k, h.Topo, h.Mem, h.MMU, mode, vfio.DefaultCosts())
+	h.KVM = kvm.New(k, h.Mem)
+	if opts.LazyZeroing {
+		h.Lazy = fastiovd.New(k, h.Mem)
+		h.KVM.Hook = h.Lazy.OnEPTFault
+		if !opts.DisableScrubber {
+			h.Lazy.StartScrubber(2*time.Millisecond, 8)
+		}
+	}
+	if opts.PreZeroFraction > 0 {
+		h.Mem.PreZero(opts.PreZeroFraction)
+	}
+
+	// Bind the pre-created VFs (§5): the fixed CNIs bind vfio-pci exactly
+	// once at host boot; the flawed CNI leaves VFs unbound and rebinds on
+	// every container start.
+	if opts.Network == NetSRIOV && !opts.RebindFlaw {
+		for _, vf := range h.NIC.VFs() {
+			vf.Dev.BindBoot("vfio-pci")
+			if _, err := h.VFIO.Register(vf.Dev); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	h.Env = hypervisor.NewEnv(k, h.Mem, h.KVM, h.VFIO, h.Lazy, h.CPU)
+
+	var plugin cni.Plugin
+	switch opts.Network {
+	case NetNone:
+		plugin = cni.NoNetwork{}
+	case NetSRIOV:
+		name := "sriov"
+		if opts.RebindFlaw {
+			name = "sriov-rebind"
+		} else if opts.LockDecomposition && opts.LazyZeroing {
+			name = "fastiov"
+		}
+		plugin = cni.NewSRIOV(name, h.NIC, h.VFIO, h.RTNL, cni.DefaultCosts(), opts.RebindFlaw)
+	case NetIPvtap:
+		plugin = cni.NewIPvtap(h.RTNL, h.CgroupLock, cni.DefaultCosts())
+	default:
+		return nil, fmt.Errorf("cluster: unknown network mode %d", opts.Network)
+	}
+
+	gcosts := guest.DefaultCosts()
+	if opts.VDPA {
+		// The guest uses the standard virtio-net driver instead of the
+		// vendor VF driver: a lighter probe, no vendor-specific setup.
+		gcosts.DriverProbe = 4 * time.Millisecond
+		gcosts.PCIEnum = 2 * time.Millisecond
+	}
+	h.Eng = cri.NewEngine(h.Env, plugin, h.Rec, h.CgroupLock, h.IrqLock, cri.DefaultCosts(), cri.Options{
+		AsyncVFInit:  opts.AsyncVFInit,
+		SkipImageMap: opts.SkipImageMap,
+		VDPA:         opts.VDPA,
+		Layout:       opts.Layout,
+		GuestCosts:   gcosts,
+	})
+	return h, nil
+}
+
+// Result carries one experiment's outcome.
+type Result struct {
+	Name      string
+	N         int
+	Totals    *stats.Sample // end-to-end startup times
+	VFRelated *stats.Sample // per-container VF-related stage time
+	Recorder  *telemetry.Recorder
+	Sandboxes []*cri.Sandbox
+	Err       error
+}
+
+// StartupExperiment concurrently starts n secure containers (crictl-style,
+// no application inside, §3.1) and collects per-container timings.
+func (h *Host) StartupExperiment(n int) *Result {
+	res := &Result{Name: h.Opts.Name, N: n, Recorder: h.Rec}
+	sandboxes := make([]*cri.Sandbox, n)
+	arrivals := h.Opts.Arrival.times(h.K.Rand(), n, h.Opts.StartJitter)
+	for i := 0; i < n; i++ {
+		i := i
+		at := h.K.Now() + arrivals[i]
+		h.K.GoAt(at, fmt.Sprintf("ctr-%d", i), func(p *sim.Proc) {
+			sb, err := h.Eng.RunPodSandbox(p, i)
+			if err != nil && res.Err == nil {
+				res.Err = err
+			}
+			sandboxes[i] = sb
+		})
+	}
+	h.K.Run()
+	res.Sandboxes = sandboxes
+	res.Totals = h.Rec.Totals()
+	res.VFRelated = stats.NewSample()
+	for _, id := range h.Rec.Containers() {
+		res.VFRelated.Add(h.Rec.VFRelatedTime(id))
+	}
+	return res
+}
+
+// RunBaseline is the one-call experiment: boot a default host with the
+// named baseline and start n containers.
+func RunBaseline(name string, n int) (*Result, error) {
+	opts, err := OptionsFor(name)
+	if err != nil {
+		return nil, err
+	}
+	h, err := NewHost(DefaultHostSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	res := h.StartupExperiment(n)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
+}
+
+// SeedSweep runs the named baseline at concurrency n once per seed and
+// returns the per-seed mean startup times. Because each run is
+// deterministic given its seed, the spread across seeds quantifies the
+// sensitivity of a result to arrival jitter — the simulator's analog of
+// run-to-run variance on real hardware.
+func SeedSweep(name string, n int, seeds []uint64) (*stats.Sample, error) {
+	opts, err := OptionsFor(name)
+	if err != nil {
+		return nil, err
+	}
+	out := stats.NewSample()
+	for _, seed := range seeds {
+		opts.Seed = seed
+		h, err := NewHost(DefaultHostSpec(), opts)
+		if err != nil {
+			return nil, err
+		}
+		res := h.StartupExperiment(n)
+		if res.Err != nil {
+			return nil, res.Err
+		}
+		out.Add(res.Totals.Mean())
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package cri
+
+import (
+	"testing"
+	"time"
+
+	"fastiov/internal/cni"
+	"fastiov/internal/fastiovd"
+	"fastiov/internal/guest"
+	"fastiov/internal/hostmem"
+	"fastiov/internal/hypervisor"
+	"fastiov/internal/iommu"
+	"fastiov/internal/kvm"
+	"fastiov/internal/nic"
+	"fastiov/internal/pci"
+	"fastiov/internal/sim"
+	"fastiov/internal/telemetry"
+	"fastiov/internal/vfio"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	mem  *hostmem.Allocator
+	card *nic.NIC
+	eng  *Engine
+	rec  *telemetry.Recorder
+	lazy *fastiovd.Module
+}
+
+type rigConfig struct {
+	rebind bool
+	async  bool
+	skip   bool
+	lazy   bool
+	noNet  bool
+}
+
+func newRig(t *testing.T, cfg rigConfig) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	memCfg := hostmem.DefaultConfig()
+	memCfg.TotalBytes = 8 << 30
+	mem := hostmem.New(k, memCfg)
+	topo := pci.NewTopology()
+	card := nic.New(k, topo, nic.DefaultConfig())
+	if err := card.CreateVFs(nil, 8, topo); err != nil {
+		t.Fatal(err)
+	}
+	mode := vfio.LockGlobal
+	if cfg.lazy {
+		mode = vfio.LockParentChild
+	}
+	drv := vfio.New(k, topo, mem, iommu.New(k, mem.PageSize()), mode, vfio.DefaultCosts())
+	kv := kvm.New(k, mem)
+	var mod *fastiovd.Module
+	if cfg.lazy {
+		mod = fastiovd.New(k, mem)
+		kv.Hook = mod.OnEPTFault
+	}
+	if !cfg.rebind && !cfg.noNet {
+		for _, vf := range card.VFs() {
+			vf.Dev.BindBoot("vfio-pci")
+			if _, err := drv.Register(vf.Dev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	env := hypervisor.NewEnv(k, mem, kv, drv, mod, sim.NewResource("cpu", 16))
+	rtnl := sim.NewMutex("rtnl")
+	cg := sim.NewMutex("cgroup")
+	irq := sim.NewMutex("irq")
+	var plugin cni.Plugin
+	if cfg.noNet {
+		plugin = cni.NoNetwork{}
+	} else {
+		plugin = cni.NewSRIOV("sriov", card, drv, rtnl, cni.DefaultCosts(), cfg.rebind)
+	}
+	rec := telemetry.NewRecorder()
+	layout := hypervisor.Layout{RAMBytes: 64 << 20, ImageBytes: 32 << 20, FirmwareBytes: 8 << 20}
+	eng := NewEngine(env, plugin, rec, cg, irq, DefaultCosts(), Options{
+		AsyncVFInit:  cfg.async,
+		SkipImageMap: cfg.skip,
+		Layout:       layout,
+		GuestCosts:   guest.DefaultCosts(),
+	})
+	return &rig{k: k, mem: mem, card: card, eng: eng, rec: rec, lazy: mod}
+}
+
+func TestSandboxLifecycle(t *testing.T) {
+	r := newRig(t, rigConfig{})
+	freePages := r.mem.FreePages()
+	r.k.Go("t", func(p *sim.Proc) {
+		sb, err := r.eng.RunPodSandbox(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.CNIRes.VF == nil || !sb.CNIRes.VF.Assigned {
+			t.Error("no assigned VF")
+		}
+		if err := r.eng.StopPodSandbox(p, sb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.k.Run()
+	if r.mem.FreePages() != freePages {
+		t.Errorf("pages leaked")
+	}
+	if r.card.FreeVFs() != 8 {
+		t.Errorf("VFs leaked: %d free", r.card.FreeVFs())
+	}
+}
+
+func TestRebindLifecycle(t *testing.T) {
+	r := newRig(t, rigConfig{rebind: true})
+	r.k.Go("t", func(p *sim.Proc) {
+		sb, err := r.eng.RunPodSandbox(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sb.vfioRegisteredHere {
+			t.Error("rebind path did not register with VFIO")
+		}
+		if sb.CNIRes.VF.Dev.Driver() != "vfio-pci" {
+			t.Errorf("driver = %q", sb.CNIRes.VF.Dev.Driver())
+		}
+		if err := r.eng.StopPodSandbox(p, sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.CNIRes.VF.Dev.Driver() != "" {
+			t.Errorf("driver after stop = %q (should be unbound for next rebind)", sb.CNIRes.VF.Dev.Driver())
+		}
+	})
+	r.k.Run()
+}
+
+func TestAllStagesRecorded(t *testing.T) {
+	r := newRig(t, rigConfig{})
+	r.k.Go("t", func(p *sim.Proc) {
+		if _, err := r.eng.RunPodSandbox(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.k.Run()
+	want := []telemetry.Stage{
+		telemetry.StageCgroup, telemetry.StageDMARAM, telemetry.StageVirtioFS,
+		telemetry.StageDMAImage, telemetry.StageVFIODev, telemetry.StageVFDriver,
+	}
+	for _, st := range want {
+		if r.rec.StageTime(0, st) <= 0 {
+			t.Errorf("stage %s not recorded", st)
+		}
+	}
+	if r.rec.Total(0) <= 0 {
+		t.Error("no total recorded")
+	}
+}
+
+func TestSkipImageOmitsStage(t *testing.T) {
+	r := newRig(t, rigConfig{skip: true, lazy: true})
+	r.k.Go("t", func(p *sim.Proc) {
+		if _, err := r.eng.RunPodSandbox(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.k.Run()
+	if r.rec.StageTime(0, telemetry.StageDMAImage) != 0 {
+		t.Error("3-dma-image recorded despite skip")
+	}
+}
+
+func TestAsyncHidesDriverInitFromStartup(t *testing.T) {
+	serial := newRig(t, rigConfig{})
+	async := newRig(t, rigConfig{async: true})
+	var serialTotal, asyncTotal time.Duration
+	serial.k.Go("t", func(p *sim.Proc) {
+		if _, err := serial.eng.RunPodSandbox(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	serial.k.Run()
+	serialTotal = serial.rec.Total(0)
+	async.k.Go("t", func(p *sim.Proc) {
+		if _, err := async.eng.RunPodSandbox(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	async.k.Run()
+	asyncTotal = async.rec.Total(0)
+	if asyncTotal >= serialTotal {
+		t.Errorf("async startup (%v) should be shorter than serial (%v)", asyncTotal, serialTotal)
+	}
+	if async.rec.StageTime(0, telemetry.StageVFDriver) != 0 {
+		t.Error("async mode recorded a 5-vf-driver wait")
+	}
+}
+
+func TestLaunchAppWaitsForIfaceUnderAsync(t *testing.T) {
+	r := newRig(t, rigConfig{async: true})
+	r.k.Go("t", func(p *sim.Proc) {
+		sb, err := r.eng.RunPodSandbox(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.eng.LaunchApp(p, sb, 16<<20); err != nil {
+			t.Fatal(err)
+		}
+		if !sb.Guest.IfaceReady().Fired() {
+			t.Error("app launched before interface was ready")
+		}
+		if !sb.CNIRes.VF.LinkUp {
+			t.Error("link not up at app start")
+		}
+	})
+	r.k.Run()
+}
+
+func TestNoNetworkSandbox(t *testing.T) {
+	r := newRig(t, rigConfig{noNet: true})
+	r.k.Go("t", func(p *sim.Proc) {
+		sb, err := r.eng.RunPodSandbox(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sb.CNIRes.VF != nil {
+			t.Error("no-net sandbox got a VF")
+		}
+		if err := r.eng.StopPodSandbox(p, sb); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.k.Run()
+	if r.rec.VFRelatedTime(0) != 0 {
+		t.Error("no-net sandbox recorded VF time")
+	}
+}
+
+func TestLazySandboxNoViolations(t *testing.T) {
+	r := newRig(t, rigConfig{lazy: true, skip: true, async: true})
+	r.k.Go("t", func(p *sim.Proc) {
+		sb, err := r.eng.RunPodSandbox(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.eng.LaunchApp(p, sb, 16<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.k.Run()
+	if r.mem.Violations != 0 {
+		t.Errorf("violations = %d", r.mem.Violations)
+	}
+	if r.lazy.Corruptions != 0 {
+		t.Errorf("corruptions = %d", r.lazy.Corruptions)
+	}
+}
+
+func TestConcurrentSandboxesDistinctVFs(t *testing.T) {
+	r := newRig(t, rigConfig{})
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		i := i
+		r.k.Go("s", func(p *sim.Proc) {
+			sb, err := r.eng.RunPodSandbox(p, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			name := sb.CNIRes.VF.Dev.Name
+			if seen[name] {
+				t.Errorf("VF %s assigned twice", name)
+			}
+			seen[name] = true
+		})
+	}
+	r.k.Run()
+	if len(seen) != 4 {
+		t.Errorf("%d distinct VFs", len(seen))
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/stats"
+)
+
+// ExtArrivals extends the paper's evaluation beyond its burst arrival
+// pattern (the Alibaba production statistic behind c=200, §1): how much of
+// FastIOV's gain depends on requests arriving simultaneously? Poisson and
+// uniformly spread arrivals relax the contention the devset lock turns
+// into queueing delay.
+func ExtArrivals(n int) (*Report, error) {
+	if n <= 0 {
+		n = DefaultConcurrency
+	}
+	patterns := []struct {
+		label   string
+		arrival cluster.Arrival
+	}{
+		{"burst (paper)", cluster.Arrival{Kind: cluster.ArrivalBurst}},
+		{"poisson 50/s", cluster.Arrival{Kind: cluster.ArrivalPoisson, RatePerSec: 50}},
+		{"uniform 20s", cluster.Arrival{Kind: cluster.ArrivalUniform, Window: 20 * time.Second}},
+	}
+	t := stats.NewTable("arrival pattern", "vanilla avg", "fastiov avg", "reduction %")
+	rep := &Report{ID: "ext-arrivals", Title: fmt.Sprintf("Arrival-pattern sensitivity (n=%d)", n), Table: t}
+	for _, pat := range patterns {
+		measure := func(name string) (time.Duration, error) {
+			opts, err := cluster.OptionsFor(name)
+			if err != nil {
+				return 0, err
+			}
+			opts.Arrival = pat.arrival
+			h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+			if err != nil {
+				return 0, err
+			}
+			res := h.StartupExperiment(n)
+			if res.Err != nil {
+				return 0, res.Err
+			}
+			return res.Totals.Mean(), nil
+		}
+		van, err := measure(cluster.BaselineVanilla)
+		if err != nil {
+			return nil, err
+		}
+		fio, err := measure(cluster.BaselineFastIOV)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pat.label, van, fio, 100*stats.ReductionRatio(van, fio))
+	}
+	rep.Notes = append(rep.Notes,
+		"the devset queue saturates under burst and moderate Poisson load, where FastIOV's gain is largest; once arrivals spread widely the queue drains between requests and the gain shrinks")
+	return rep, nil
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/hypervisor"
+	"fastiov/internal/serverless"
+	"fastiov/internal/sim"
+	"fastiov/internal/stats"
+)
+
+// runServerless starts n containers under the named baseline and runs app
+// to completion in each, returning the task-completion-time sample (the
+// duration from startup-command issuance to computation finish, §6.6).
+func runServerless(baseline string, n int, app serverless.App, layout *hypervisor.Layout) (*stats.Sample, error) {
+	opts, err := cluster.OptionsFor(baseline)
+	if err != nil {
+		return nil, err
+	}
+	if layout != nil {
+		opts.Layout = *layout
+	}
+	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return serverlessCompletions(h, opts, n, app)
+}
+
+// serverlessCompletions launches n tasks of app on a prepared host and
+// collects their completion times.
+func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app serverless.App) (*stats.Sample, error) {
+	completions := make([]time.Duration, n)
+	var firstErr error
+	rng := h.K.Rand()
+	for i := 0; i < n; i++ {
+		i := i
+		at := rng.Duration(opts.StartJitter)
+		h.K.GoAt(at, fmt.Sprintf("task-%d", i), func(p *sim.Proc) {
+			issued := p.Now()
+			sb, err := h.Eng.RunPodSandbox(p, i)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if err := serverless.Execute(p, h.Eng, sb, app); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			completions[i] = p.Now() - issued
+		})
+	}
+	h.K.Run()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if h.Mem.Violations != 0 {
+		return nil, fmt.Errorf("%s/%s: %d residual-data violations", opts.Name, app.Name, h.Mem.Violations)
+	}
+	return stats.FromDurations(completions), nil
+}
+
+// Fig15 reproduces Figure 15: task-completion-time distribution for the
+// four SeBS applications at c=200, vanilla vs FastIOV.
+func Fig15(n int) (*Report, error) {
+	t := stats.NewTable("app", "vanilla avg", "vanilla p99", "fastiov avg", "fastiov p99", "avg red. %", "p99 red. %")
+	rep := &Report{ID: "fig15", Title: fmt.Sprintf("Serverless application performance (concurrency=%d)", n), Table: t}
+	var minRed, maxRed float64 = 101, -1
+	for _, app := range serverless.Apps() {
+		van, err := runServerless(cluster.BaselineVanilla, n, app, nil)
+		if err != nil {
+			return nil, err
+		}
+		fio, err := runServerless(cluster.BaselineFastIOV, n, app, nil)
+		if err != nil {
+			return nil, err
+		}
+		avgRed := 100 * stats.ReductionRatio(van.Mean(), fio.Mean())
+		p99Red := 100 * stats.ReductionRatio(van.P99(), fio.P99())
+		t.AddRow(app.Name, van.Mean(), van.P99(), fio.Mean(), fio.P99(), avgRed, p99Red)
+		if avgRed < minRed {
+			minRed = avgRed
+		}
+		if avgRed > maxRed {
+			maxRed = avgRed
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"average completion reduced %.1f%%-%.1f%% across apps; paper: 12.1%%-53.5%%, shrinking from image to inference",
+		minRed, maxRed))
+	return rep, nil
+}
+
+// Fig16Concurrency reproduces Fig. 16a-d: per-app average task completion
+// and reduction ratio across concurrency levels.
+func Fig16Concurrency(concurrencies []int) (*Report, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = []int{10, 50, 100, 200}
+	}
+	t := stats.NewTable("app", "concurrency", "vanilla avg", "fastiov avg", "R-ratio %")
+	rep := &Report{ID: "fig16a-d", Title: "Serverless apps: varying concurrency", Table: t}
+	for _, app := range serverless.Apps() {
+		for _, c := range concurrencies {
+			van, err := runServerless(cluster.BaselineVanilla, c, app, nil)
+			if err != nil {
+				return nil, err
+			}
+			fio, err := runServerless(cluster.BaselineFastIOV, c, app, nil)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(app.Name, c, van.Mean(), fio.Mean(),
+				100*stats.ReductionRatio(van.Mean(), fio.Mean()))
+		}
+	}
+	rep.Notes = append(rep.Notes, "paper: higher gain at higher concurrency (Fig. 16a-d)")
+	return rep, nil
+}
+
+// Fig16Memory reproduces Fig. 16e-h: per-app completion across memory
+// allocations at fixed concurrency.
+func Fig16Memory(memories []int64, concurrency int) (*Report, error) {
+	if len(memories) == 0 {
+		memories = []int64{512 << 20, 1 << 30, 2 << 30}
+	}
+	if concurrency <= 0 {
+		concurrency = 50
+	}
+	t := stats.NewTable("app", "memory/ctr", "vanilla avg", "fastiov avg", "R-ratio %")
+	rep := &Report{ID: "fig16e-h", Title: fmt.Sprintf("Serverless apps: varying memory (concurrency=%d)", concurrency), Table: t}
+	for _, app := range serverless.Apps() {
+		for _, ram := range memories {
+			l := layoutWithRAM(ram)
+			van, err := runServerless(cluster.BaselineVanilla, concurrency, app, &l)
+			if err != nil {
+				return nil, err
+			}
+			fio, err := runServerless(cluster.BaselineFastIOV, concurrency, app, &l)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(app.Name, fmt.Sprintf("%dMB", ram>>20), van.Mean(), fio.Mean(),
+				100*stats.ReductionRatio(van.Mean(), fio.Mean()))
+		}
+	}
+	rep.Notes = append(rep.Notes, "paper: higher gain with larger allocations; FastIOV completion flat or decreasing (Fig. 16e-h)")
+	return rep, nil
+}
+
+// Fig16FullyLoaded reproduces Fig. 16i-l: per-app completion on a fully
+// loaded server (memory divided evenly among containers).
+func Fig16FullyLoaded(concurrencies []int) (*Report, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = []int{10, 50, 100, 200}
+	}
+	spec := cluster.DefaultHostSpec()
+	t := stats.NewTable("app", "concurrency", "memory/ctr", "vanilla avg", "fastiov avg", "R-ratio %")
+	rep := &Report{ID: "fig16i-l", Title: "Serverless apps: fully loaded server", Table: t}
+	for _, app := range serverless.Apps() {
+		for _, c := range concurrencies {
+			perCtr := spec.Memory.TotalBytes * 8 / 10 / int64(c)
+			l := hypervisor.DefaultLayout()
+			unit := int64(512 << 20)
+			ram := (perCtr - l.ImageBytes - l.FirmwareBytes) / unit * unit
+			if ram < unit {
+				ram = unit
+			}
+			l.RAMBytes = ram
+			van, err := runServerless(cluster.BaselineVanilla, c, app, &l)
+			if err != nil {
+				return nil, err
+			}
+			fio, err := runServerless(cluster.BaselineFastIOV, c, app, &l)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(app.Name, c, fmt.Sprintf("%dMB", l.RAMBytes>>20), van.Mean(), fio.Mean(),
+				100*stats.ReductionRatio(van.Mean(), fio.Mean()))
+		}
+	}
+	rep.Notes = append(rep.Notes, "paper: clear reduction at all settings, most pronounced at low concurrency (Fig. 16i-l)")
+	return rep, nil
+}

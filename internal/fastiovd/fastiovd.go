@@ -1,0 +1,215 @@
+// Package fastiovd is the reproduction of the paper's portable kernel
+// module (§5): the heart of FastIOV's decoupled lazy zeroing (§4.3.2).
+//
+// It maintains a two-tier hash table — first tier keyed by the microVM's
+// host PID, second tier by HPA page — of physical pages whose zeroing has
+// been deferred. Zeroing happens at the latest safe moment:
+//
+//   - on the page's first EPT fault (hooked into KVM),
+//   - or earlier, by a background scrubber thread that drains the table
+//     during idle time,
+//   - or never by fastiovd, for pages on the instant-zeroing list (BIOS,
+//     kernel image) which the hypervisor zeroes eagerly before writing.
+//
+// The module also audits correctness: zeroing a page that already holds
+// live data (a hypervisor or virtio write that the protocol failed to
+// fence) is recorded as a corruption — the crash scenario of §4.3.2.
+package fastiovd
+
+import (
+	"time"
+
+	"fastiov/internal/hostmem"
+	"fastiov/internal/sim"
+)
+
+// pageInfo is the second-tier hash table value. The paper stores "detailed
+// page information"; the fields we need are the registration time (for age
+// statistics) alone — the page index is the key.
+type pageInfo struct {
+	registered time.Duration
+}
+
+// scrubEntry is one deferred page in the scrubber's FIFO.
+type scrubEntry struct {
+	pid  int
+	page int64
+}
+
+// Module is one loaded instance of fastiovd.
+type Module struct {
+	k   *sim.Kernel
+	mem *hostmem.Allocator
+
+	// tables is the two-tier hash table: PID -> (HPA page -> info).
+	tables map[int]map[int64]pageInfo
+
+	// scrubQueue holds (pid, page) pairs in registration order so the
+	// background scrubber drains deterministically (map iteration order
+	// would make simulation runs irreproducible). Entries already zeroed
+	// via the fault path are skipped when dequeued.
+	scrubQueue []scrubEntry
+
+	// inflight tracks pages whose zeroing has been claimed but not yet
+	// completed (the zeroer is waiting on memory bandwidth). A concurrent
+	// EPT fault on such a page must wait for completion — this is the
+	// "notify KVM upon completion" handshake of §5.
+	inflight map[int64]*sim.Event
+
+	// RegisterCostPerPage models the bookkeeping insert per deferred page.
+	RegisterCostPerPage time.Duration
+
+	// Corruptions counts pages zeroed after live data was written to them —
+	// each one would be a guest crash or data-loss bug on real hardware.
+	Corruptions int
+
+	// LazyZeroed / ScrubZeroed / InstantZeroed count pages cleared on the
+	// EPT-fault path, by the background scrubber, and eagerly for the
+	// instant-zeroing list, respectively.
+	LazyZeroed    int
+	ScrubZeroed   int
+	InstantZeroed int
+}
+
+// New loads the module.
+func New(k *sim.Kernel, mem *hostmem.Allocator) *Module {
+	return &Module{
+		k:                   k,
+		mem:                 mem,
+		tables:              make(map[int]map[int64]pageInfo),
+		inflight:            make(map[int64]*sim.Event),
+		RegisterCostPerPage: 120 * time.Nanosecond,
+	}
+}
+
+// Register defers zeroing for every page of region, owned by microVM pid.
+// This replaces eager zeroing in the VFIO DMA-map path; it is the hook
+// passed to vfio.MapDMA.
+func (m *Module) Register(p *sim.Proc, pid int, region *hostmem.Region) {
+	t := m.tables[pid]
+	if t == nil {
+		t = make(map[int64]pageInfo)
+		m.tables[pid] = t
+	}
+	now := p.Now()
+	var n int64
+	region.Pages(func(pg int64) {
+		t[pg] = pageInfo{registered: now}
+		m.scrubQueue = append(m.scrubQueue, scrubEntry{pid: pid, page: pg})
+		n++
+	})
+	if cost := time.Duration(n) * m.RegisterCostPerPage; cost > 0 {
+		p.Sleep(cost)
+	}
+}
+
+// RegisterInstant puts region on the instant-zeroing list: the pages are
+// zeroed immediately (charging bandwidth time) and never tracked, because
+// the hypervisor is about to write live data (BIOS, kernel) into them.
+func (m *Module) RegisterInstant(p *sim.Proc, pid int, region *hostmem.Region) {
+	before := m.mem.ZeroedBytes
+	m.mem.ZeroRegion(p, region)
+	m.InstantZeroed += int((m.mem.ZeroedBytes - before) / m.mem.PageSize())
+}
+
+// OnEPTFault is the KVM fault hook (kvm.FaultHook): if the faulting page is
+// tracked for pid, zero it now and drop it from the table. If another
+// thread (the scrubber) is already zeroing the page, wait for it to finish
+// before letting KVM install the EPT entry.
+func (m *Module) OnEPTFault(p *sim.Proc, pid int, hpaPage int64) {
+	t := m.tables[pid]
+	if t != nil {
+		if _, ok := t[hpaPage]; ok {
+			m.claimAndZero(p, pid, hpaPage)
+			m.LazyZeroed++
+			return
+		}
+	}
+	if ev, busy := m.inflight[hpaPage]; busy {
+		ev.Await(p)
+	}
+}
+
+// claimAndZero removes the page from the table (claiming it), publishes an
+// in-flight marker, performs the zeroing, and signals completion. If the
+// zeroing Proc is unwound mid-zero (the scrubber daemon reaped at the end
+// of a Run phase), the claim is rolled back so the page is still tracked —
+// and still gets zeroed before any later exposure.
+func (m *Module) claimAndZero(p *sim.Proc, pid int, hpaPage int64) {
+	t := m.tables[pid]
+	delete(t, hpaPage)
+	if len(t) == 0 {
+		delete(m.tables, pid)
+	}
+	ev := sim.NewEvent(m.k, "fastiovd-zero")
+	m.inflight[hpaPage] = ev
+	completed := false
+	defer func() {
+		delete(m.inflight, hpaPage)
+		if completed {
+			ev.Fire(p)
+			return
+		}
+		// Unwound mid-zero: restore the claim.
+		tt := m.tables[pid]
+		if tt == nil {
+			tt = make(map[int64]pageInfo)
+			m.tables[pid] = tt
+		}
+		tt[hpaPage] = pageInfo{registered: p.Now()}
+		m.scrubQueue = append(m.scrubQueue, scrubEntry{pid: pid, page: hpaPage})
+	}()
+	m.zero(p, hpaPage)
+	completed = true
+}
+
+// zero clears one page, auditing the crash case: the page must not already
+// hold live data (that data would be destroyed).
+func (m *Module) zero(p *sim.Proc, hpaPage int64) {
+	if m.mem.State(hpaPage) == hostmem.Written {
+		m.Corruptions++
+	}
+	m.mem.ZeroPage(p, hpaPage)
+}
+
+// Tracked returns the number of pages still awaiting zeroing for pid.
+func (m *Module) Tracked(pid int) int { return len(m.tables[pid]) }
+
+// TrackedTotal returns the table-wide deferred page count.
+func (m *Module) TrackedTotal() int {
+	n := 0
+	for _, t := range m.tables {
+		n += len(t)
+	}
+	return n
+}
+
+// Release drops pid's table without zeroing (VM teardown: the pages return
+// to the allocator dirty and are re-zeroed for their next owner).
+func (m *Module) Release(pid int) { delete(m.tables, pid) }
+
+// StartScrubber launches the module's background thread (§5): it
+// periodically sweeps the two-tier table, zeroing up to pagesPerPass pages
+// per wake and removing them, overlapping zeroing with other startup stages.
+func (m *Module) StartScrubber(interval time.Duration, pagesPerPass int) {
+	m.k.GoDaemon("fastiovd-scrub", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			cleared := 0
+			for cleared < pagesPerPass && len(m.scrubQueue) > 0 {
+				e := m.scrubQueue[0]
+				m.scrubQueue = m.scrubQueue[1:]
+				t := m.tables[e.pid]
+				if t == nil {
+					continue
+				}
+				if _, ok := t[e.page]; !ok {
+					continue // already zeroed on the fault path
+				}
+				m.claimAndZero(p, e.pid, e.page)
+				m.ScrubZeroed++
+				cleared++
+			}
+		}
+	})
+}

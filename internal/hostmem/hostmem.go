@@ -1,0 +1,387 @@
+// Package hostmem models the host physical memory subsystem: a page
+// allocator with free-list fragmentation, per-page content state, a zeroing
+// engine whose cost is bounded by shared memory bandwidth, page pinning, and
+// a HawkEye-style pre-zeroing daemon.
+//
+// Content state is the heart of the paper's correctness argument (§4.3.2):
+// a page freed by one tenant holds residual data and MUST be zeroed before
+// another tenant can observe it. The allocator tracks this per page, so
+// higher layers (VFIO eager zeroing, fastiovd lazy zeroing) can be validated
+// end-to-end: any guest read of a still-dirty page is recorded as a security
+// violation.
+package hostmem
+
+import (
+	"fmt"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// Page sizes supported by the allocator.
+const (
+	PageSize4K = 4 << 10
+	PageSize2M = 2 << 20
+)
+
+// ContentState describes what a physical page currently holds.
+type ContentState uint8
+
+const (
+	// Dirty means the page holds residual data from a previous owner and
+	// must not be exposed to a new tenant.
+	Dirty ContentState = iota
+	// Zeroed means the page has been cleared since its last free.
+	Zeroed
+	// Written means the current owner (hypervisor, virtio backend, guest,
+	// or NIC DMA) has written live data to the page.
+	Written
+)
+
+func (c ContentState) String() string {
+	switch c {
+	case Dirty:
+		return "dirty"
+	case Zeroed:
+		return "zeroed"
+	case Written:
+		return "written"
+	}
+	return "invalid"
+}
+
+// Config sizes the allocator and its cost model.
+type Config struct {
+	// TotalBytes is the host physical memory size.
+	TotalBytes int64
+	// PageSize is the allocation granule (4K or 2M; experiments follow the
+	// paper's production practice of 2M hugepages).
+	PageSize int64
+	// ZeroStreams is the number of zeroing operations that can proceed at
+	// full rate concurrently; streams beyond this queue. It models the
+	// memory controller's streaming-write limit (aggregate bandwidth =
+	// ZeroStreams * ZeroBytesPerSec).
+	ZeroStreams int64
+	// ZeroBytesPerSec is the zeroing throughput of one stream (one core's
+	// non-temporal store rate).
+	ZeroBytesPerSec int64
+	// RetrieveCostPerRun is the fixed cost of collecting one contiguous run
+	// of free pages (the batched function-call cost of Fig. 6 "retrieving").
+	RetrieveCostPerRun time.Duration
+	// RetrieveCostPerPage is the marginal per-page retrieval cost.
+	RetrieveCostPerPage time.Duration
+	// PinCostPerPage is the per-page cost of refcount pinning.
+	PinCostPerPage time.Duration
+	// MaxRunPages caps contiguous-run length to model fragmentation
+	// (0 = unfragmented: runs as long as the free list allows).
+	MaxRunPages int64
+}
+
+// DefaultConfig mirrors the paper's testbed: 256 GB DDR4-3200, 2 MB
+// hugepages, ~10 GB/s per-core zeroing bounded at ~50 GB/s aggregate.
+func DefaultConfig() Config {
+	return Config{
+		TotalBytes:          256 << 30,
+		PageSize:            PageSize2M,
+		ZeroStreams:         4,
+		ZeroBytesPerSec:     10 << 30,
+		RetrieveCostPerRun:  2 * time.Microsecond,
+		RetrieveCostPerPage: 150 * time.Nanosecond,
+		PinCostPerPage:      20 * time.Microsecond,
+	}
+}
+
+// Run is a contiguous range of physical pages [Start, Start+Count).
+type Run struct {
+	Start int64
+	Count int64
+}
+
+// Region is an allocation: a set of page runs plus its byte size.
+type Region struct {
+	Runs  []Run
+	Bytes int64
+}
+
+// Pages iterates all page indices in the region.
+func (r *Region) Pages(fn func(page int64)) {
+	for _, run := range r.Runs {
+		for i := int64(0); i < run.Count; i++ {
+			fn(run.Start + i)
+		}
+	}
+}
+
+// PageCount returns the number of pages in the region.
+func (r *Region) PageCount() int64 {
+	var n int64
+	for _, run := range r.Runs {
+		n += run.Count
+	}
+	return n
+}
+
+// Allocator is the host physical page allocator.
+type Allocator struct {
+	k     *sim.Kernel
+	cfg   Config
+	pages int64
+
+	state     []ContentState
+	allocated []bool
+	pinned    []int32 // pin refcount per page
+
+	freeHead int64 // scan cursor: lowest possibly-free page
+	freeCnt  int64
+
+	zoneLock *sim.Mutex    // protects the free list (Linux zone->lock)
+	membw    *sim.Resource // zeroing bandwidth streams
+
+	// Violations counts guest reads of dirty pages — the multi-tenant data
+	// leak the zeroing machinery exists to prevent.
+	Violations int
+
+	// ZeroedBytes counts bytes actually cleared (skipping already-zeroed
+	// pages), for pre-zeroing effectiveness reporting.
+	ZeroedBytes int64
+}
+
+// New builds an allocator; all pages start free and dirty (residual data
+// from "previous tenants"), matching the paper's worst-case assumption for
+// a warm multi-tenant host.
+func New(k *sim.Kernel, cfg Config) *Allocator {
+	if cfg.PageSize <= 0 || cfg.TotalBytes < cfg.PageSize {
+		panic("hostmem: invalid geometry")
+	}
+	if cfg.ZeroStreams <= 0 {
+		cfg.ZeroStreams = 1
+	}
+	if cfg.ZeroBytesPerSec <= 0 {
+		cfg.ZeroBytesPerSec = 10 << 30
+	}
+	pages := cfg.TotalBytes / cfg.PageSize
+	return &Allocator{
+		k:         k,
+		cfg:       cfg,
+		pages:     pages,
+		state:     make([]ContentState, pages),
+		allocated: make([]bool, pages),
+		pinned:    make([]int32, pages),
+		freeCnt:   pages,
+		zoneLock:  sim.NewMutex("zone"),
+		membw:     sim.NewResource("membw", cfg.ZeroStreams),
+	}
+}
+
+// PageSize returns the allocation granule.
+func (a *Allocator) PageSize() int64 { return a.cfg.PageSize }
+
+// TotalPages returns the number of physical pages.
+func (a *Allocator) TotalPages() int64 { return a.pages }
+
+// FreePages returns the number of free pages.
+func (a *Allocator) FreePages() int64 { return a.freeCnt }
+
+// pagesFor rounds bytes up to whole pages.
+func (a *Allocator) pagesFor(bytes int64) int64 {
+	return (bytes + a.cfg.PageSize - 1) / a.cfg.PageSize
+}
+
+// Allocate retrieves enough free pages for bytes, charging the retrieval
+// cost model (Fig. 6 "retrieving"). The returned pages are NOT zeroed —
+// zeroing is an explicit separate step, because decoupling it is exactly
+// the FastIOV optimization under study. Returns an error if memory is
+// exhausted.
+func (a *Allocator) Allocate(p *sim.Proc, bytes int64) (*Region, error) {
+	need := a.pagesFor(bytes)
+	a.zoneLock.Lock(p)
+	defer a.zoneLock.Unlock(p)
+	if need > a.freeCnt {
+		return nil, fmt.Errorf("hostmem: out of memory: need %d pages, %d free", need, a.freeCnt)
+	}
+	region := &Region{Bytes: bytes}
+	var cost time.Duration
+	remaining := need
+	i := a.freeHead
+	for remaining > 0 {
+		// find next free page
+		for a.allocated[i] {
+			i++
+			if i >= a.pages {
+				i = 0
+			}
+		}
+		// extend the run
+		run := Run{Start: i, Count: 0}
+		for i < a.pages && !a.allocated[i] && remaining > 0 {
+			if a.cfg.MaxRunPages > 0 && run.Count >= a.cfg.MaxRunPages {
+				break
+			}
+			a.allocated[i] = true
+			run.Count++
+			remaining--
+			i++
+		}
+		region.Runs = append(region.Runs, run)
+		cost += a.cfg.RetrieveCostPerRun + time.Duration(run.Count)*a.cfg.RetrieveCostPerPage
+		if i >= a.pages {
+			i = 0
+		}
+	}
+	a.freeCnt -= need
+	a.freeHead = i
+	if cost > 0 {
+		p.Sleep(cost)
+	}
+	return region, nil
+}
+
+// Free returns a region's pages to the free list. Pages become dirty: they
+// hold the departing tenant's data. Pinned pages may not be freed.
+func (a *Allocator) Free(p *sim.Proc, region *Region) {
+	a.zoneLock.Lock(p)
+	defer a.zoneLock.Unlock(p)
+	region.Pages(func(pg int64) {
+		if !a.allocated[pg] {
+			panic(fmt.Sprintf("hostmem: double free of page %d", pg))
+		}
+		if a.pinned[pg] > 0 {
+			panic(fmt.Sprintf("hostmem: freeing pinned page %d", pg))
+		}
+		a.allocated[pg] = false
+		a.state[pg] = Dirty
+		a.freeCnt++
+		if pg < a.freeHead {
+			a.freeHead = pg
+		}
+	})
+}
+
+// ZeroPage clears one page if it is still dirty, charging bandwidth time.
+// Already-clean pages are skipped at zero cost (the HawkEye observation).
+func (a *Allocator) ZeroPage(p *sim.Proc, page int64) {
+	if a.state[page] != Dirty {
+		return
+	}
+	d := time.Duration(int64(time.Second) * a.cfg.PageSize / a.cfg.ZeroBytesPerSec)
+	a.membw.Use(p, 1, d)
+	a.state[page] = Zeroed
+	a.ZeroedBytes += a.cfg.PageSize
+}
+
+// ZeroRegion eagerly clears every dirty page in the region (Fig. 6
+// "zeroing"). Consecutive dirty pages are cleared in one bandwidth
+// acquisition to model streaming stores.
+func (a *Allocator) ZeroRegion(p *sim.Proc, region *Region) {
+	for _, run := range region.Runs {
+		i := run.Start
+		end := run.Start + run.Count
+		for i < end {
+			if a.state[i] != Dirty {
+				i++
+				continue
+			}
+			j := i
+			for j < end && a.state[j] == Dirty {
+				j++
+			}
+			n := j - i
+			d := time.Duration(int64(time.Second) * n * a.cfg.PageSize / a.cfg.ZeroBytesPerSec)
+			a.membw.Use(p, 1, d)
+			for k := i; k < j; k++ {
+				a.state[k] = Zeroed
+			}
+			a.ZeroedBytes += n * a.cfg.PageSize
+			i = j
+		}
+	}
+}
+
+// Pin increments every page's pin refcount, charging the per-page pinning
+// cost (Fig. 6 "pinning"). Pinned pages cannot be freed or migrated.
+func (a *Allocator) Pin(p *sim.Proc, region *Region) {
+	n := region.PageCount()
+	region.Pages(func(pg int64) { a.pinned[pg]++ })
+	if d := time.Duration(n) * a.cfg.PinCostPerPage; d > 0 {
+		p.Sleep(d)
+	}
+}
+
+// Unpin decrements pin refcounts.
+func (a *Allocator) Unpin(p *sim.Proc, region *Region) {
+	region.Pages(func(pg int64) {
+		if a.pinned[pg] <= 0 {
+			panic(fmt.Sprintf("hostmem: unpin of unpinned page %d", pg))
+		}
+		a.pinned[pg]--
+	})
+}
+
+// Pinned reports whether a page is pinned.
+func (a *Allocator) Pinned(page int64) bool { return a.pinned[page] > 0 }
+
+// State returns a page's content state.
+func (a *Allocator) State(page int64) ContentState { return a.state[page] }
+
+// WriteData marks a page as holding live data written by its current owner
+// (hypervisor setup, virtio backend, guest store, NIC DMA). Writing to a
+// dirty page is fine — the write replaces the residual data as far as the
+// writer's own view is concerned, but note that a partial-page write of a
+// dirty page would still leak; the protocols under test must zero first
+// when the writer is not the guest's security domain. We model whole-page
+// semantics: the caller decides whether zeroing must precede the write.
+func (a *Allocator) WriteData(page int64) { a.state[page] = Written }
+
+// GuestRead models the guest (the tenant's security domain) reading a page.
+// Reading residual data from a previous tenant is a containment failure and
+// increments Violations.
+func (a *Allocator) GuestRead(page int64) {
+	if a.state[page] == Dirty {
+		a.Violations++
+	}
+}
+
+// PreZero instantly marks the given fraction of currently-free dirty pages
+// as zeroed, modeling a HawkEye-style daemon that cleared them during
+// earlier idle time (baselines Pre10/Pre50/Pre100). No simulated time is
+// charged — the work happened before the measurement window.
+func (a *Allocator) PreZero(fraction float64) {
+	if fraction <= 0 {
+		return
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	target := int64(float64(a.freeCnt) * fraction)
+	for i := int64(0); i < a.pages && target > 0; i++ {
+		if !a.allocated[i] && a.state[i] == Dirty {
+			a.state[i] = Zeroed
+			target--
+		}
+	}
+}
+
+// StartScrubDaemon launches a background daemon that zeroes free dirty
+// pages at the given pages-per-wake rate, modeling ongoing idle-time
+// pre-zeroing during an experiment.
+func (a *Allocator) StartScrubDaemon(pagesPerWake int, wakeEvery time.Duration) {
+	a.k.GoDaemon("hostmem-scrub", func(p *sim.Proc) {
+		cursor := int64(0)
+		for {
+			p.Sleep(wakeEvery)
+			cleared := 0
+			for scanned := int64(0); scanned < a.pages && cleared < pagesPerWake; scanned++ {
+				i := cursor
+				cursor = (cursor + 1) % a.pages
+				if !a.allocated[i] && a.state[i] == Dirty {
+					a.ZeroPage(p, i)
+					cleared++
+				}
+			}
+		}
+	})
+}
+
+// Bandwidth exposes the zeroing bandwidth resource so other DMA-heavy
+// components (e.g., virtio data copies) share the same bottleneck.
+func (a *Allocator) Bandwidth() *sim.Resource { return a.membw }

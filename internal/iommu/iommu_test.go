@@ -1,0 +1,156 @@
+package iommu
+
+import (
+	"testing"
+
+	"fastiov/internal/hostmem"
+	"fastiov/internal/sim"
+)
+
+const mb = int64(1) << 20
+
+func setup() (*sim.Kernel, *hostmem.Allocator, *IOMMU) {
+	k := sim.NewKernel(1)
+	cfg := hostmem.DefaultConfig()
+	cfg.TotalBytes = 1 << 30
+	mem := hostmem.New(k, cfg)
+	return k, mem, New(k, mem.PageSize())
+}
+
+func TestMapAndTranslate(t *testing.T) {
+	k, mem, u := setup()
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		region, _ := mem.Allocate(p, 8*mb)
+		if err := dom.Map(p, 0, region); err != nil {
+			t.Fatal(err)
+		}
+		if dom.MappedPages() != 4 {
+			t.Errorf("mapped pages = %d", dom.MappedPages())
+		}
+		hpa, err := dom.Translate(2*mb + 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Page-offset must be preserved.
+		if hpa%mem.PageSize() != 100 {
+			t.Errorf("offset not preserved: hpa=%#x", hpa)
+		}
+	})
+	k.Run()
+}
+
+func TestTranslateUnmappedFaults(t *testing.T) {
+	k, _, u := setup()
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		if _, err := dom.Translate(0); err == nil {
+			t.Error("translate of empty domain should fault")
+		}
+	})
+	k.Run()
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	k, mem, u := setup()
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		r1, _ := mem.Allocate(p, 4*mb)
+		r2, _ := mem.Allocate(p, 4*mb)
+		if err := dom.Map(p, 0, r1); err != nil {
+			t.Fatal(err)
+		}
+		if err := dom.Map(p, 0, r2); err == nil {
+			t.Error("overlapping IOVA map accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestUnalignedIOVARejected(t *testing.T) {
+	k, mem, u := setup()
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		r, _ := mem.Allocate(p, 2*mb)
+		if err := dom.Map(p, 4096, r); err == nil {
+			t.Error("unaligned IOVA accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestUnmapRemovesTranslations(t *testing.T) {
+	k, mem, u := setup()
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		r, _ := mem.Allocate(p, 8*mb)
+		dom.Map(p, 16*mb, r)
+		dom.Unmap(p, 16*mb, 8*mb)
+		if dom.MappedPages() != 0 {
+			t.Errorf("mapped pages after unmap = %d", dom.MappedPages())
+		}
+		if dom.MappedBytes != 0 {
+			t.Errorf("mapped bytes = %d", dom.MappedBytes)
+		}
+		if _, err := dom.Translate(16 * mb); err == nil {
+			t.Error("translate after unmap should fault")
+		}
+	})
+	k.Run()
+}
+
+func TestDomainsIsolated(t *testing.T) {
+	k, mem, u := setup()
+	a, b := u.CreateDomain(), u.CreateDomain()
+	if a.ID == b.ID {
+		t.Fatal("duplicate domain ids")
+	}
+	k.Go("t", func(p *sim.Proc) {
+		r, _ := mem.Allocate(p, 2*mb)
+		a.Map(p, 0, r)
+		if _, err := b.Translate(0); err == nil {
+			t.Error("domain b sees domain a's mapping")
+		}
+	})
+	k.Run()
+}
+
+func TestMapChargesPerPageCost(t *testing.T) {
+	k, mem, u := setup()
+	u.MapCostPerPage = 1000 // 1µs
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		r, _ := mem.Allocate(p, 8*mb) // 4 pages
+		before := p.Now()
+		dom.Map(p, 0, r)
+		if got := p.Now() - before; got != 4000 {
+			t.Errorf("map cost = %v, want 4µs", got)
+		}
+	})
+	k.Run()
+}
+
+func TestDestroyDomain(t *testing.T) {
+	_, _, u := setup()
+	dom := u.CreateDomain()
+	u.DestroyDomain(dom)
+	if dom.pt != nil {
+		t.Error("page table not released")
+	}
+}
+
+func TestTranslatePage(t *testing.T) {
+	k, mem, u := setup()
+	dom := u.CreateDomain()
+	k.Go("t", func(p *sim.Proc) {
+		r, _ := mem.Allocate(p, 2*mb)
+		dom.Map(p, 0, r)
+		if _, ok := dom.TranslatePage(0); !ok {
+			t.Error("page 0 not mapped")
+		}
+		if _, ok := dom.TranslatePage(5); ok {
+			t.Error("page 5 mapped unexpectedly")
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,243 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChildMutualExclusion(t *testing.T) {
+	var pc ParentChild
+	c := pc.NewChild()
+	var inside, maxInside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Lock()
+				n := atomic.AddInt32(&inside, 1)
+				if n > atomic.LoadInt32(&maxInside) {
+					atomic.StoreInt32(&maxInside, n)
+				}
+				atomic.AddInt32(&inside, -1)
+				c.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxInside > 1 {
+		t.Errorf("same-child critical sections overlapped: max %d inside", maxInside)
+	}
+}
+
+func TestInterChildParallelism(t *testing.T) {
+	// Two children must be able to hold their locks simultaneously: child A
+	// acquires and waits for child B to also acquire; with a single global
+	// mutex this would deadlock.
+	var pc ParentChild
+	a, b := pc.NewChild(), pc.NewChild()
+	bothHeld := make(chan struct{})
+	aHolding := make(chan struct{})
+	go func() {
+		a.Lock()
+		defer a.Unlock()
+		close(aHolding)
+		<-bothHeld
+	}()
+	<-aHolding
+	done := make(chan struct{})
+	go func() {
+		b.Lock()
+		defer b.Unlock()
+		close(bothHeld)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("inter-child operations serialized: b could not lock while a held")
+	}
+}
+
+func TestGlobalExcludesChildren(t *testing.T) {
+	var pc ParentChild
+	c := pc.NewChild()
+	var globalHeld atomic.Bool
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			pc.LockGlobal()
+			globalHeld.Store(true)
+			time.Sleep(10 * time.Microsecond)
+			globalHeld.Store(false)
+			pc.UnlockGlobal()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.Lock()
+			if globalHeld.Load() {
+				violations.Add(1)
+			}
+			time.Sleep(10 * time.Microsecond)
+			c.Unlock()
+		}
+	}()
+	wg.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Errorf("%d child sections ran while global was held", v)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var pc ParentChild
+	c := pc.NewChild()
+	if !c.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if c.TryLock() {
+		t.Fatal("TryLock on held child succeeded")
+	}
+	c.Unlock()
+
+	pc.LockGlobal()
+	if c.TryLock() {
+		t.Fatal("TryLock succeeded while global held")
+	}
+	pc.UnlockGlobal()
+	if !c.TryLock() {
+		t.Fatal("TryLock after global release failed")
+	}
+	c.Unlock()
+}
+
+func TestWithHelpers(t *testing.T) {
+	var pc ParentChild
+	c := pc.NewChild()
+	ran := 0
+	c.With(func() { ran++ })
+	pc.WithGlobal(func() { ran++ })
+	if ran != 2 {
+		t.Errorf("ran = %d", ran)
+	}
+}
+
+func TestDevsetCounts(t *testing.T) {
+	d := NewDevset(4)
+	d.Open(0)
+	d.Open(0)
+	d.Open(3)
+	if got := d.OpenCount(0); got != 2 {
+		t.Errorf("open count 0 = %d", got)
+	}
+	if got := d.TotalOpen(); got != 3 {
+		t.Errorf("total = %d", got)
+	}
+	d.Close(0)
+	d.Close(0)
+	d.Close(3)
+	if got := d.TotalOpen(); got != 0 {
+		t.Errorf("total after closes = %d", got)
+	}
+}
+
+func TestDevsetCloseUnopenedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDevset(1).Close(0)
+}
+
+func TestDevsetResetIfIdle(t *testing.T) {
+	d := NewDevset(2)
+	d.Open(1)
+	ran := false
+	if d.ResetIfIdle(func() { ran = true }) {
+		t.Error("reset ran while a member was open")
+	}
+	d.Close(1)
+	if !d.ResetIfIdle(func() { ran = true }) || !ran {
+		t.Error("reset did not run on idle devset")
+	}
+}
+
+// TestDevsetTotalConsistentUnderConcurrency hammers opens/closes on many
+// goroutines while a reader snapshots TotalOpen; the snapshot must always
+// equal the sum it reads (trivially true) AND the final total must be zero
+// when every open has been matched by a close — the invariant the global
+// lock protects during the torn-down state.
+func TestDevsetTotalConsistentUnderConcurrency(t *testing.T) {
+	const workers = 8
+	const perWorker = 500
+	d := NewDevset(workers)
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	// Reader: totals must never be negative or exceed the live maximum.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			total := d.TotalOpen()
+			if total < 0 || total > workers {
+				t.Errorf("impossible total %d", total)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		w := w
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWorker; i++ {
+				d.Open(w)
+				d.Close(w)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if total := d.TotalOpen(); total != 0 {
+		t.Errorf("final total = %d, want 0", total)
+	}
+}
+
+// Property: any interleaving of opens and closes (kept non-negative per
+// child) yields TotalOpen equal to the net sum.
+func TestDevsetNetTotalProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDevset(4)
+		counts := make([]int, 4)
+		for _, op := range ops {
+			child := int(op % 4)
+			if op&0x80 != 0 && counts[child] > 0 {
+				d.Close(child)
+				counts[child]--
+			} else {
+				d.Open(child)
+				counts[child]++
+			}
+		}
+		want := counts[0] + counts[1] + counts[2] + counts[3]
+		return d.TotalOpen() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package pci models the host PCI topology: buses, devices, SR-IOV
+// physical/virtual functions, reset capabilities, and sysfs-style driver
+// binding. The devset behaviour at the heart of the paper's first bottleneck
+// (§3.2.2) is determined by this topology: devices without slot-level reset
+// share a bus-level reset domain with every other device on their bus.
+package pci
+
+import (
+	"fmt"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// ResetScope describes the finest reset granularity a device supports.
+type ResetScope uint8
+
+const (
+	// ResetBus means the device can only be reset together with every other
+	// device on its bus (the common case for VFs on NICs like the Intel
+	// E810 and IPU E2100, per §3.2.2).
+	ResetBus ResetScope = iota
+	// ResetSlot means the device supports slot-level (function-level)
+	// reset and forms a singleton devset.
+	ResetSlot
+)
+
+func (r ResetScope) String() string {
+	if r == ResetSlot {
+		return "slot"
+	}
+	return "bus"
+}
+
+// BDF is a PCI bus/device/function address.
+type BDF struct {
+	Bus, Dev, Fn int
+}
+
+func (a BDF) String() string { return fmt.Sprintf("%02x:%02x.%d", a.Bus, a.Dev, a.Fn) }
+
+// Device is one PCI function.
+type Device struct {
+	Addr   BDF
+	Name   string
+	Vendor uint16
+	DevID  uint16
+	Reset  ResetScope
+
+	// IsVF marks SR-IOV virtual functions; Parent is their PF.
+	IsVF   bool
+	Parent *Device
+
+	driver string
+	bus    *Bus
+}
+
+// Driver returns the name of the currently bound driver ("" if unbound).
+func (d *Device) Driver() string { return d.driver }
+
+// Bus returns the bus this device sits on.
+func (d *Device) Bus() *Bus { return d.bus }
+
+// Bind binds the device to a driver, charging the bind cost (sysfs
+// driver_override + probe). Binding over an existing driver panics: callers
+// must unbind first, as the kernel requires.
+func (d *Device) Bind(p *sim.Proc, driver string, cost time.Duration) {
+	if d.driver != "" {
+		panic(fmt.Sprintf("pci: %s already bound to %s", d.Addr, d.driver))
+	}
+	if cost > 0 {
+		p.Sleep(cost)
+	}
+	d.driver = driver
+}
+
+// BindBoot binds without charging time, for drivers attached during host
+// boot (outside the measured startup window).
+func (d *Device) BindBoot(driver string) {
+	if d.driver != "" {
+		panic(fmt.Sprintf("pci: %s already bound to %s", d.Addr, d.driver))
+	}
+	d.driver = driver
+}
+
+// Unbind releases the device from its driver.
+func (d *Device) Unbind(p *sim.Proc, cost time.Duration) {
+	if d.driver == "" {
+		panic(fmt.Sprintf("pci: %s not bound", d.Addr))
+	}
+	if cost > 0 {
+		p.Sleep(cost)
+	}
+	d.driver = ""
+}
+
+// Bus is one PCI bus segment.
+type Bus struct {
+	Number  int
+	devices []*Device
+}
+
+// Devices returns the devices on the bus (not a copy).
+func (b *Bus) Devices() []*Device { return b.devices }
+
+// Topology is the host's set of PCI buses.
+type Topology struct {
+	buses map[int]*Bus
+	byBDF map[BDF]*Device
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{buses: make(map[int]*Bus), byBDF: make(map[BDF]*Device)}
+}
+
+// AddBus creates (or returns) bus number n.
+func (t *Topology) AddBus(n int) *Bus {
+	if b, ok := t.buses[n]; ok {
+		return b
+	}
+	b := &Bus{Number: n}
+	t.buses[n] = b
+	return b
+}
+
+// AddDevice places a device on a bus. The device's Addr.Bus must match.
+func (t *Topology) AddDevice(d *Device) *Device {
+	b := t.AddBus(d.Addr.Bus)
+	if _, dup := t.byBDF[d.Addr]; dup {
+		panic("pci: duplicate BDF " + d.Addr.String())
+	}
+	d.bus = b
+	b.devices = append(b.devices, d)
+	t.byBDF[d.Addr] = d
+	return d
+}
+
+// Lookup finds a device by address.
+func (t *Topology) Lookup(addr BDF) (*Device, bool) {
+	d, ok := t.byBDF[addr]
+	return d, ok
+}
+
+// Buses returns all buses.
+func (t *Topology) Buses() []*Bus {
+	out := make([]*Bus, 0, len(t.buses))
+	for _, b := range t.buses {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package pci
+
+import (
+	"testing"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+func TestTopologyAddLookup(t *testing.T) {
+	topo := NewTopology()
+	d := topo.AddDevice(&Device{Addr: BDF{Bus: 3, Dev: 1, Fn: 0}, Name: "nic"})
+	got, ok := topo.Lookup(BDF{Bus: 3, Dev: 1, Fn: 0})
+	if !ok || got != d {
+		t.Fatal("lookup failed")
+	}
+	if d.Bus().Number != 3 {
+		t.Errorf("bus = %d", d.Bus().Number)
+	}
+	if _, ok := topo.Lookup(BDF{Bus: 9}); ok {
+		t.Error("lookup of absent device succeeded")
+	}
+}
+
+func TestDuplicateBDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	topo := NewTopology()
+	topo.AddDevice(&Device{Addr: BDF{Bus: 1}})
+	topo.AddDevice(&Device{Addr: BDF{Bus: 1}})
+}
+
+func TestBusGroupsDevices(t *testing.T) {
+	topo := NewTopology()
+	for i := 0; i < 5; i++ {
+		topo.AddDevice(&Device{Addr: BDF{Bus: 7, Dev: i}})
+	}
+	topo.AddDevice(&Device{Addr: BDF{Bus: 8, Dev: 0}})
+	bus := topo.AddBus(7)
+	if len(bus.Devices()) != 5 {
+		t.Errorf("bus 7 has %d devices, want 5", len(bus.Devices()))
+	}
+	if len(topo.Buses()) != 2 {
+		t.Errorf("buses = %d, want 2", len(topo.Buses()))
+	}
+}
+
+func TestBindUnbindLifecycle(t *testing.T) {
+	k := sim.NewKernel(1)
+	topo := NewTopology()
+	d := topo.AddDevice(&Device{Addr: BDF{Bus: 1}})
+	k.Go("t", func(p *sim.Proc) {
+		d.Bind(p, "vfio-pci", time.Millisecond)
+		if d.Driver() != "vfio-pci" {
+			t.Errorf("driver = %q", d.Driver())
+		}
+		if p.Now() != time.Millisecond {
+			t.Errorf("bind cost not charged: %v", p.Now())
+		}
+		d.Unbind(p, time.Millisecond)
+		if d.Driver() != "" {
+			t.Errorf("driver after unbind = %q", d.Driver())
+		}
+	})
+	k.Run()
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	k := sim.NewKernel(1)
+	topo := NewTopology()
+	d := topo.AddDevice(&Device{Addr: BDF{Bus: 1}})
+	k.Go("t", func(p *sim.Proc) {
+		d.Bind(p, "a", 0)
+		d.Bind(p, "b", 0)
+	})
+	k.Run()
+}
+
+func TestUnbindUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	k := sim.NewKernel(1)
+	topo := NewTopology()
+	d := topo.AddDevice(&Device{Addr: BDF{Bus: 1}})
+	k.Go("t", func(p *sim.Proc) { d.Unbind(p, 0) })
+	k.Run()
+}
+
+func TestBindBoot(t *testing.T) {
+	topo := NewTopology()
+	d := topo.AddDevice(&Device{Addr: BDF{Bus: 1}})
+	d.BindBoot("ice")
+	if d.Driver() != "ice" {
+		t.Errorf("driver = %q", d.Driver())
+	}
+}
+
+func TestBDFString(t *testing.T) {
+	if got := (BDF{Bus: 0x17, Dev: 2, Fn: 1}).String(); got != "17:02.1" {
+		t.Errorf("BDF string = %q", got)
+	}
+}
+
+func TestResetScopeString(t *testing.T) {
+	if ResetSlot.String() != "slot" || ResetBus.String() != "bus" {
+		t.Error("reset scope strings wrong")
+	}
+}

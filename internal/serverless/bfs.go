@@ -1,0 +1,65 @@
+package serverless
+
+import "fmt"
+
+// Graph is an adjacency-list graph for the Scientific task.
+type Graph struct {
+	Adj [][]int32
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return len(g.Adj) }
+
+// GenerateGraph builds a deterministic pseudo-random graph with the given
+// node count and average out-degree — the Scientific task's 100000-node
+// input (§6.6).
+func GenerateGraph(nodes, degree int, seed uint64) *Graph {
+	if nodes <= 0 {
+		return &Graph{}
+	}
+	g := &Graph{Adj: make([][]int32, nodes)}
+	state := seed | 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for u := 0; u < nodes; u++ {
+		// A ring edge keeps the graph connected; the rest are random.
+		g.Adj[u] = append(g.Adj[u], int32((u+1)%nodes))
+		for d := 1; d < degree; d++ {
+			g.Adj[u] = append(g.Adj[u], int32(next()%uint64(nodes)))
+		}
+	}
+	return g
+}
+
+// BFS performs breadth-first search from start, returning per-node depths
+// (-1 for unreachable) and the number of visited nodes.
+func BFS(g *Graph, start int) ([]int32, int, error) {
+	n := g.Nodes()
+	if start < 0 || start >= n {
+		return nil, 0, fmt.Errorf("serverless: BFS start %d outside [0,%d)", start, n)
+	}
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[start] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(start))
+	visited := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				visited++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth, visited, nil
+}

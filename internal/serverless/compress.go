@@ -1,0 +1,47 @@
+package serverless
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// GenerateCompressibleData produces n bytes of deterministic, moderately
+// compressible content (log-like repeated structure), standing in for the
+// Compression task's 9.7 MB input file.
+func GenerateCompressibleData(n int) []byte {
+	var b bytes.Buffer
+	b.Grow(n)
+	i := 0
+	for b.Len() < n {
+		fmt.Fprintf(&b, "req=%08d status=%d latency=%dus backend=cell-%02d\n",
+			i, 200+(i%3)*100, 100+(i*37)%9000, i%16)
+		i++
+	}
+	return b.Bytes()[:n]
+}
+
+// Compress deflates data — the Compression task of §6.6 ("zips an input
+// file of 9.7MB").
+func Compress(data []byte) ([]byte, error) {
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decompress inflates data produced by Compress.
+func Decompress(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	return io.ReadAll(r)
+}

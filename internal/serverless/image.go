@@ -1,0 +1,68 @@
+package serverless
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// GenerateTestImage produces a deterministic synthetic RGBA image, standing
+// in for the SeBS image-resize input.
+func GenerateTestImage(w, h int) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{
+				R: uint8((x * 7) ^ (y * 13)),
+				G: uint8(x * y),
+				B: uint8(x + 2*y),
+				A: 255,
+			})
+		}
+	}
+	return img
+}
+
+// ResizeThumbnail scales src to a w x h thumbnail using box-averaged
+// sampling — the Image task of §6.6 ("resizes an input image to a thumbnail
+// of size 100x100").
+func ResizeThumbnail(src *image.RGBA, w, h int) (*image.RGBA, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("serverless: invalid thumbnail size %dx%d", w, h)
+	}
+	sb := src.Bounds()
+	sw, sh := sb.Dx(), sb.Dy()
+	if sw == 0 || sh == 0 {
+		return nil, fmt.Errorf("serverless: empty source image")
+	}
+	dst := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		y0 := sb.Min.Y + y*sh/h
+		y1 := sb.Min.Y + (y+1)*sh/h
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for x := 0; x < w; x++ {
+			x0 := sb.Min.X + x*sw/w
+			x1 := sb.Min.X + (x+1)*sw/w
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			var r, g, b, a, n uint32
+			for sy := y0; sy < y1; sy++ {
+				for sx := x0; sx < x1; sx++ {
+					c := src.RGBAAt(sx, sy)
+					r += uint32(c.R)
+					g += uint32(c.G)
+					b += uint32(c.B)
+					a += uint32(c.A)
+					n++
+				}
+			}
+			dst.SetRGBA(x, y, color.RGBA{
+				R: uint8(r / n), G: uint8(g / n), B: uint8(b / n), A: uint8(a / n),
+			})
+		}
+	}
+	return dst, nil
+}

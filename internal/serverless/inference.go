@@ -1,0 +1,78 @@
+package serverless
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a small feed-forward classifier standing in for the Inference
+// task's ResNet-50 (§6.6): same code path — download weights, run a dense
+// forward pass, return a label — at laptop scale.
+type Model struct {
+	inDim, hidden, classes int
+	w1, w2                 []float32 // row-major weight matrices
+	b1, b2                 []float32
+}
+
+// NewModel builds a model with deterministic pseudo-random weights.
+func NewModel(inDim, hidden, classes int, seed uint64) *Model {
+	m := &Model{inDim: inDim, hidden: hidden, classes: classes}
+	state := seed | 1
+	next := func() float32 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float32(int64(state%2000)-1000) / 1000
+	}
+	m.w1 = make([]float32, hidden*inDim)
+	m.b1 = make([]float32, hidden)
+	m.w2 = make([]float32, classes*hidden)
+	m.b2 = make([]float32, classes)
+	for i := range m.w1 {
+		m.w1[i] = next() / float32(math.Sqrt(float64(inDim)))
+	}
+	for i := range m.w2 {
+		m.w2[i] = next() / float32(math.Sqrt(float64(hidden)))
+	}
+	return m
+}
+
+// Classify runs the forward pass and returns the argmax class and its
+// softmax probability.
+func (m *Model) Classify(input []float32) (int, float64, error) {
+	if len(input) != m.inDim {
+		return 0, 0, fmt.Errorf("serverless: input dim %d, want %d", len(input), m.inDim)
+	}
+	h := make([]float32, m.hidden)
+	for i := 0; i < m.hidden; i++ {
+		sum := m.b1[i]
+		row := m.w1[i*m.inDim : (i+1)*m.inDim]
+		for j, x := range input {
+			sum += row[j] * x
+		}
+		if sum < 0 { // ReLU
+			sum = 0
+		}
+		h[i] = sum
+	}
+	logits := make([]float64, m.classes)
+	for i := 0; i < m.classes; i++ {
+		sum := float64(m.b2[i])
+		row := m.w2[i*m.hidden : (i+1)*m.hidden]
+		for j, x := range h {
+			sum += float64(row[j]) * float64(x)
+		}
+		logits[i] = sum
+	}
+	best, denom, maxLogit := 0, 0.0, math.Inf(-1)
+	for i, l := range logits {
+		if l > maxLogit {
+			maxLogit = l
+			best = i
+		}
+	}
+	for _, l := range logits {
+		denom += math.Exp(l - maxLogit)
+	}
+	return best, 1 / denom, nil
+}

@@ -1,0 +1,196 @@
+package serverless
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestResizeThumbnail(t *testing.T) {
+	src := GenerateTestImage(640, 480)
+	thumb, err := ResizeThumbnail(src, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := thumb.Bounds(); b.Dx() != 100 || b.Dy() != 100 {
+		t.Errorf("thumbnail %dx%d, want 100x100", b.Dx(), b.Dy())
+	}
+	// Alpha must be preserved.
+	if thumb.RGBAAt(50, 50).A != 255 {
+		t.Error("alpha lost in resize")
+	}
+}
+
+func TestResizeUpscale(t *testing.T) {
+	src := GenerateTestImage(10, 10)
+	thumb, err := ResizeThumbnail(src, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := thumb.Bounds(); b.Dx() != 40 || b.Dy() != 40 {
+		t.Errorf("upscale %dx%d", b.Dx(), b.Dy())
+	}
+}
+
+func TestResizeInvalidSize(t *testing.T) {
+	src := GenerateTestImage(10, 10)
+	if _, err := ResizeThumbnail(src, 0, 10); err == nil {
+		t.Error("zero-width thumbnail accepted")
+	}
+}
+
+func TestResizeDeterministic(t *testing.T) {
+	a, _ := ResizeThumbnail(GenerateTestImage(320, 240), 100, 100)
+	b, _ := ResizeThumbnail(GenerateTestImage(320, 240), 100, 100)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Error("resize not deterministic")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	data := GenerateCompressibleData(1 << 20)
+	compressed, err := Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) >= len(data) {
+		t.Errorf("log-like data did not compress: %d -> %d", len(data), len(compressed))
+	}
+	back, err := Decompress(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestCompressEmptyInput(t *testing.T) {
+	c, err := Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decompress(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty round trip returned %d bytes", len(back))
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		c, err := Compress(data)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSVisitsAllNodes(t *testing.T) {
+	g := GenerateGraph(100000, 4, 7)
+	depth, visited, err := BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring edge guarantees connectivity.
+	if visited != 100000 {
+		t.Errorf("visited %d of 100000", visited)
+	}
+	if depth[0] != 0 {
+		t.Errorf("start depth = %d", depth[0])
+	}
+}
+
+func TestBFSDepthsValid(t *testing.T) {
+	g := GenerateGraph(1000, 3, 42)
+	depth, _, err := BFS(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every edge (u,v) must satisfy depth[v] <= depth[u]+1 (BFS invariant).
+	for u := range g.Adj {
+		for _, v := range g.Adj[u] {
+			if depth[u] >= 0 && (depth[v] < 0 || depth[v] > depth[u]+1) {
+				t.Fatalf("BFS invariant broken on edge %d->%d: %d vs %d", u, v, depth[u], depth[v])
+			}
+		}
+	}
+}
+
+func TestBFSInvalidStart(t *testing.T) {
+	g := GenerateGraph(10, 2, 1)
+	if _, _, err := BFS(g, 10); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	if _, _, err := BFS(g, -1); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestBFSEmptyGraph(t *testing.T) {
+	if _, _, err := BFS(&Graph{}, 0); err == nil {
+		t.Error("BFS on empty graph should fail")
+	}
+}
+
+func TestModelClassify(t *testing.T) {
+	m := NewModel(64, 32, 10, 3)
+	input := make([]float32, 64)
+	for i := range input {
+		input[i] = float32(i) / 64
+	}
+	class, prob, err := m.Classify(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class < 0 || class >= 10 {
+		t.Errorf("class %d outside [0,10)", class)
+	}
+	if prob <= 0 || prob > 1 {
+		t.Errorf("probability %v outside (0,1]", prob)
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	input := make([]float32, 16)
+	input[3] = 1
+	a, _, _ := NewModel(16, 8, 4, 9).Classify(input)
+	b, _, _ := NewModel(16, 8, 4, 9).Classify(input)
+	if a != b {
+		t.Error("same seed, same input, different class")
+	}
+}
+
+func TestModelWrongDim(t *testing.T) {
+	m := NewModel(16, 8, 4, 1)
+	if _, _, err := m.Classify(make([]float32, 5)); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+}
+
+func TestAppsDescriptorsSane(t *testing.T) {
+	for _, app := range Apps() {
+		if app.Name == "" || app.ExecCPU <= 0 || app.ContainerImageBytes <= 0 {
+			t.Errorf("bad descriptor: %+v", app)
+		}
+	}
+	// Execution time must grow from Image to Inference (drives the Fig. 15
+	// reduction-ratio ordering).
+	apps := Apps()
+	for i := 1; i < len(apps); i++ {
+		if apps[i].ExecCPU <= apps[i-1].ExecCPU {
+			t.Errorf("%s exec (%v) not greater than %s (%v)",
+				apps[i].Name, apps[i].ExecCPU, apps[i-1].Name, apps[i-1].ExecCPU)
+		}
+	}
+}

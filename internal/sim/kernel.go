@@ -1,0 +1,273 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel used by every substrate in this repository.
+//
+// The kernel models an operating system's worth of concurrent activity —
+// threads, kernel locks, CPU cores, memory bandwidth — under a virtual clock.
+// Simulated threads (Procs) are backed by goroutines, but the kernel enforces
+// strict baton-passing: exactly one Proc executes at any instant, and the
+// order in which Procs run is a pure function of (virtual time, sequence
+// number). Runs are therefore bit-for-bit reproducible, which is essential
+// for regenerating the paper's figures.
+//
+// A 200-container concurrent-startup experiment that spans ~16 virtual
+// seconds completes in a few wall-clock milliseconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Duration aliases time.Duration; all simulated time is expressed in
+// nanoseconds of virtual time.
+type Duration = time.Duration
+
+// Kernel is the simulation scheduler. It owns the virtual clock and the
+// pending-event heap. A Kernel must be created with NewKernel.
+//
+// All Kernel methods except Run and RunFor must be called either before Run
+// starts or from within a running Proc (which holds the execution baton), so
+// no internal locking is required.
+type Kernel struct {
+	now      Duration
+	events   eventHeap
+	seq      uint64
+	yield    chan struct{}
+	live     int // non-daemon procs not yet finished
+	procSeq  int
+	procs    map[*Proc]struct{}
+	rng      *Rand
+	aborted  bool
+	panicked any // panic value captured from a Proc body, re-raised in Run
+
+	// Trace, when non-nil, receives a line for every proc state change.
+	// Used by tests that assert on scheduling order.
+	Trace func(at Duration, format string, args ...any)
+}
+
+// NewKernel returns a kernel with the virtual clock at zero and the given
+// PRNG seed. The same seed always yields the same execution.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   NewRand(seed),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Duration { return k.now }
+
+// Rand returns the kernel's deterministic PRNG.
+func (k *Kernel) Rand() *Rand { return k.rng }
+
+// tracef emits a trace line if tracing is enabled.
+func (k *Kernel) tracef(format string, args ...any) {
+	if k.Trace != nil {
+		k.Trace(k.now, format, args...)
+	}
+}
+
+// schedule pushes an event. Events at equal times fire in scheduling order.
+func (k *Kernel) schedule(at Duration, p *Proc) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, proc: p})
+}
+
+// Go spawns a new simulated thread that begins execution at the current
+// virtual time. The returned Proc can be joined or inspected. fn runs to
+// completion unless the simulation is aborted.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a background thread that does not keep the simulation
+// alive: Run returns once every non-daemon Proc has finished, even if
+// daemons still have pending events. Daemons are reaped when Run returns
+// (their goroutines unwind); a subsequent Run phase starts without them.
+func (k *Kernel) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+// GoAt spawns a thread that begins execution at absolute virtual time at
+// (which must not be in the past). It is the primitive beneath workload
+// arrival processes.
+func (k *Kernel) GoAt(at Duration, name string, fn func(p *Proc)) *Proc {
+	p := k.newProc(name, fn, false)
+	k.schedule(at, p)
+	return p
+}
+
+func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := k.newProc(name, fn, daemon)
+	k.schedule(k.now, p)
+	return p
+}
+
+func (k *Kernel) newProc(name string, fn func(p *Proc), daemon bool) *Proc {
+	k.procSeq++
+	p := &Proc{
+		k:      k,
+		id:     k.procSeq,
+		name:   name,
+		daemon: daemon,
+		resume: make(chan struct{}),
+		done:   newEvent(k),
+	}
+	if !daemon {
+		k.live++
+	}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		if !k.aborted {
+			runBody(fn, p)
+		}
+		p.finished = true
+		if !p.daemon {
+			k.live--
+		}
+		delete(k.procs, p)
+		p.done.fire()
+		k.yield <- struct{}{}
+	}()
+	return p
+}
+
+// Run executes the simulation until every non-daemon Proc has finished or no
+// events remain. It returns the virtual time at which the simulation
+// quiesced. If non-daemon Procs remain blocked with no pending events, Run
+// panics with a deadlock report naming each blocked Proc and what it is
+// waiting on.
+func (k *Kernel) Run() Duration {
+	return k.run(-1)
+}
+
+// RunFor executes the simulation like Run but stops once the virtual clock
+// would pass deadline. Pending events beyond the deadline are discarded and
+// blocked Procs are abandoned (their goroutines unwind without running
+// further user code).
+func (k *Kernel) RunFor(deadline Duration) Duration {
+	return k.run(deadline)
+}
+
+func (k *Kernel) run(deadline Duration) Duration {
+	// A kernel can be reused for multiple phases (start containers, Run,
+	// tear down, Run again); clear the abort latch from the previous phase.
+	k.aborted = false
+	for k.events.Len() > 0 && k.live > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if deadline >= 0 && e.at > deadline {
+			k.now = deadline
+			k.abort()
+			return k.now
+		}
+		k.now = e.at
+		p := e.proc
+		if p.finished {
+			continue // stale wakeup for an aborted/finished proc
+		}
+		p.resume <- struct{}{}
+		<-k.yield
+		if k.panicked != nil {
+			// A Proc body panicked. Unwind the remaining goroutines, then
+			// re-raise in the caller's goroutine so tests can observe it.
+			v := k.panicked
+			k.panicked = nil
+			k.abort()
+			panic(v)
+		}
+	}
+	if k.live > 0 {
+		report := k.deadlockReport()
+		k.abort()
+		panic("sim: deadlock: " + report)
+	}
+	k.abort()
+	return k.now
+}
+
+// abort unwinds every remaining goroutine so tests do not leak them. Every
+// Proc still registered is blocked on <-p.resume — either parked inside a
+// primitive or never started. Releasing it lets park observe k.aborted and
+// panic with abortSentinel, which runBody converts into a clean exit;
+// never-started Procs observe k.aborted in the spawn wrapper and skip their
+// body entirely.
+func (k *Kernel) abort() {
+	k.aborted = true
+	for len(k.procs) > 0 {
+		var p *Proc
+		for q := range k.procs {
+			p = q
+			break
+		}
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+}
+
+// runBody executes a Proc body. The abort sentinel unwinds silently; any
+// other panic is captured on the kernel and re-raised from Run in the
+// caller's goroutine (a panic inside a Proc goroutine would otherwise crash
+// the process without giving tests a chance to recover it).
+func runBody(fn func(*Proc), p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSentinel); !ok {
+				p.k.panicked = r
+			}
+		}
+	}()
+	fn(p)
+}
+
+// deadlockReport lists blocked non-daemon procs and their wait reasons.
+func (k *Kernel) deadlockReport() string {
+	var lines []string
+	for p := range k.procs {
+		if p.daemon {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOn))
+	}
+	sort.Strings(lines)
+	s := ""
+	for i, l := range lines {
+		if i > 0 {
+			s += "; "
+		}
+		s += l
+	}
+	return s
+}
+
+type event struct {
+	at   Duration
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,73 @@
+package sim
+
+import "fmt"
+
+// abortSentinel is panicked out of park when the simulation is torn down so
+// that parked goroutines unwind without executing further user code.
+type abortSentinel struct{}
+
+// Proc is a simulated thread. A Proc's methods must only be called by the
+// goroutine running that Proc (they block and hand the baton back to the
+// kernel); the sole exceptions are Name, ID, and Finished.
+type Proc struct {
+	k         *Kernel
+	id        int
+	name      string
+	daemon    bool
+	resume    chan struct{}
+	finished  bool
+	parked    bool
+	blockedOn string
+	done      *Event
+}
+
+// Name returns the Proc's human-readable name.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the Proc's unique id (assigned in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Finished reports whether the Proc's body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Kernel returns the kernel this Proc runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Duration { return p.k.now }
+
+// park hands the baton to the kernel and blocks until resumed. reason is
+// surfaced in deadlock reports.
+func (p *Proc) park(reason string) {
+	p.blockedOn = reason
+	p.parked = true
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.parked = false
+	p.blockedOn = ""
+	if p.k.aborted {
+		panic(abortSentinel{})
+	}
+}
+
+// Sleep advances this Proc's virtual time by d. d <= 0 yields the processor
+// without advancing time (other runnable Procs at the same instant run
+// first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+d, p)
+	p.park(fmt.Sprintf("sleep(%v)", d))
+}
+
+// Yield reschedules the Proc at the current instant, letting other runnable
+// Procs execute first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Join blocks until q finishes.
+func (p *Proc) Join(q *Proc) { q.done.Await(p) }
+
+// Done returns an Event fired when the Proc finishes, for use with
+// WaitAny-style composition.
+func (p *Proc) Done() *Event { return p.done }

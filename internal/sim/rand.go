@@ -1,0 +1,71 @@
+package sim
+
+// Rand is a small deterministic PRNG (xorshift64*) used for workload jitter.
+// The standard library's math/rand would also be deterministic when seeded,
+// but carrying our own generator keeps each Kernel's stream independent of
+// global state and of Go version changes to rand internals.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped, as
+// xorshift has a zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Int63n returns a uniform value in [0, n). n must be positive.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Duration returns a uniform duration in [0, d).
+func (r *Rand) Duration(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	return Duration(r.Int63n(int64(d)))
+}
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac].
+// It is the standard way experiments add bounded noise to service times.
+func (r *Rand) Jitter(base Duration, frac float64) Duration {
+	if frac <= 0 {
+		return base
+	}
+	lo := float64(base) * (1 - frac)
+	hi := float64(base) * (1 + frac)
+	return Duration(lo + (hi-lo)*r.Float64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := int(r.Int63n(int64(i + 1)))
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,310 @@
+// Package telemetry is the reproduction of the paper's fine-grained logging
+// tool (§3.1): it records per-container, per-stage spans during concurrent
+// startup runs and renders them as the breakdown table (Tab. 1), the
+// timeline figure (Fig. 5), and CDFs (Fig. 12).
+//
+// Recording is free of real synchronization because the simulation kernel
+// guarantees only one simulated thread executes at a time; the paper's tool
+// similarly takes care to be asynchronous so that logging does not perturb
+// the measured startup times.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fastiov/internal/stats"
+)
+
+// Stage identifies one of the time-consuming startup steps. Names follow the
+// paper's Fig. 5 legend.
+type Stage string
+
+// The stage classes of the paper's breakdown, plus internal ones used by
+// finer-grained analyses.
+const (
+	StageCgroup   Stage = "0-cgroup"
+	StageDMARAM   Stage = "1-dma-ram"
+	StageVirtioFS Stage = "2-virtiofs"
+	StageDMAImage Stage = "3-dma-image"
+	StageVFIODev  Stage = "4-vfio-dev"
+	StageVFDriver Stage = "5-vf-driver"
+	StageAddCNI   Stage = "6-add-cni" // software-CNI device creation (Fig. 14)
+	StageOther    Stage = "other"
+)
+
+// VFRelated reports whether a stage is one of the four VF-related steps
+// whose share the paper tracks (Tab. 1: steps 1, 3, 4, 5).
+func (s Stage) VFRelated() bool {
+	switch s {
+	case StageDMARAM, StageDMAImage, StageVFIODev, StageVFDriver:
+		return true
+	}
+	return false
+}
+
+// Span is one recorded interval of a stage within one container's startup.
+type Span struct {
+	Container int
+	Stage     Stage
+	Start     time.Duration
+	End       time.Duration
+}
+
+// Dur returns the span length.
+func (s Span) Dur() time.Duration { return s.End - s.Start }
+
+// Recorder accumulates spans and per-container start/finish marks.
+type Recorder struct {
+	spans  []Span
+	starts map[int]time.Duration
+	ends   map[int]time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		starts: make(map[int]time.Duration),
+		ends:   make(map[int]time.Duration),
+	}
+}
+
+// Record adds a completed span.
+func (r *Recorder) Record(container int, stage Stage, start, end time.Duration) {
+	if end < start {
+		panic(fmt.Sprintf("telemetry: span ends before it starts: %v < %v", end, start))
+	}
+	r.spans = append(r.spans, Span{Container: container, Stage: stage, Start: start, End: end})
+}
+
+// MarkStart records the issuance time of a container's startup command.
+func (r *Recorder) MarkStart(container int, at time.Duration) { r.starts[container] = at }
+
+// MarkEnd records a container's startup completion time.
+func (r *Recorder) MarkEnd(container int, at time.Duration) { r.ends[container] = at }
+
+// Spans returns all recorded spans (not a copy).
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Containers returns the sorted ids of containers with a recorded start.
+func (r *Recorder) Containers() []int {
+	ids := make([]int, 0, len(r.starts))
+	for id := range r.starts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Total returns container id's end-to-end startup time, or 0 if incomplete.
+func (r *Recorder) Total(container int) time.Duration {
+	s, okS := r.starts[container]
+	e, okE := r.ends[container]
+	if !okS || !okE {
+		return 0
+	}
+	return e - s
+}
+
+// Totals returns the sample of end-to-end startup times across containers.
+func (r *Recorder) Totals() *stats.Sample {
+	s := stats.NewSample()
+	for _, id := range r.Containers() {
+		if t := r.Total(id); t > 0 {
+			s.Add(t)
+		}
+	}
+	return s
+}
+
+// StageTime returns the summed span time of stage within container id.
+func (r *Recorder) StageTime(container int, stage Stage) time.Duration {
+	var total time.Duration
+	for _, sp := range r.spans {
+		if sp.Container == container && sp.Stage == stage {
+			total += sp.Dur()
+		}
+	}
+	return total
+}
+
+// ByStage returns, for each stage, the sample of per-container stage times.
+func (r *Recorder) ByStage() map[Stage]*stats.Sample {
+	perCtr := make(map[Stage]map[int]time.Duration)
+	for _, sp := range r.spans {
+		m := perCtr[sp.Stage]
+		if m == nil {
+			m = make(map[int]time.Duration)
+			perCtr[sp.Stage] = m
+		}
+		m[sp.Container] += sp.Dur()
+	}
+	out := make(map[Stage]*stats.Sample, len(perCtr))
+	for st, m := range perCtr {
+		s := stats.NewSample()
+		for _, id := range r.Containers() {
+			s.Add(m[id]) // containers without the stage contribute 0
+		}
+		out[st] = s
+	}
+	return out
+}
+
+// VFRelatedTime returns the summed VF-related stage time for container id.
+func (r *Recorder) VFRelatedTime(container int) time.Duration {
+	var total time.Duration
+	for _, sp := range r.spans {
+		if sp.Container == container && sp.Stage.VFRelated() {
+			total += sp.Dur()
+		}
+	}
+	return total
+}
+
+// StageRow is one row of the Tab. 1 reproduction.
+type StageRow struct {
+	Stage    Stage
+	MeanTime time.Duration
+	PropAvg  float64 // proportion in average startup time (%)
+	PropP99  float64 // proportion in 99th-percentile startup time (%)
+}
+
+// Breakdown reproduces Tab. 1: the proportion each stage contributes to the
+// average startup time and to the 99th-percentile startup time. The p99
+// column is computed over the containers whose total time is at or above the
+// p99 threshold, matching the paper's long-tail framing.
+func (r *Recorder) Breakdown(stages []Stage) []StageRow {
+	totals := r.Totals()
+	meanTotal := totals.Mean()
+	p99 := totals.Percentile(99)
+
+	var tailIDs []int
+	for _, id := range r.Containers() {
+		if r.Total(id) >= p99 && r.Total(id) > 0 {
+			tailIDs = append(tailIDs, id)
+		}
+	}
+
+	rows := make([]StageRow, 0, len(stages))
+	for _, st := range stages {
+		var sumAll, sumTail time.Duration
+		n := 0
+		for _, id := range r.Containers() {
+			if r.Total(id) == 0 {
+				continue
+			}
+			sumAll += r.StageTime(id, st)
+			n++
+		}
+		for _, id := range tailIDs {
+			sumTail += r.StageTime(id, st)
+		}
+		row := StageRow{Stage: st}
+		if n > 0 {
+			row.MeanTime = sumAll / time.Duration(n)
+		}
+		if meanTotal > 0 && n > 0 {
+			row.PropAvg = 100 * float64(sumAll/time.Duration(n)) / float64(meanTotal)
+		}
+		if p99 > 0 && len(tailIDs) > 0 {
+			meanTail := sumTail / time.Duration(len(tailIDs))
+			row.PropP99 = 100 * float64(meanTail) / float64(p99)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BreakdownTable renders Breakdown as an aligned table (Tab. 1 format).
+func (r *Recorder) BreakdownTable(stages []Stage) *stats.Table {
+	t := stats.NewTable("Step", "Mean Time", "Prop. Avg (%)", "Prop. P99 (%)")
+	var vfAvg, vfP99 float64
+	for _, row := range r.Breakdown(stages) {
+		t.AddRow(string(row.Stage), row.MeanTime, row.PropAvg, row.PropP99)
+		if row.Stage.VFRelated() {
+			vfAvg += row.PropAvg
+			vfP99 += row.PropP99
+		}
+	}
+	t.AddRow("Total (1,3,4,5)", time.Duration(0), vfAvg, vfP99)
+	return t
+}
+
+// timelineGlyphs maps stages to the letters used in the ASCII Gantt chart.
+var timelineGlyphs = map[Stage]byte{
+	StageCgroup:   '0',
+	StageDMARAM:   '1',
+	StageVirtioFS: '2',
+	StageDMAImage: '3',
+	StageVFIODev:  '4',
+	StageVFDriver: '5',
+	StageAddCNI:   '6',
+	StageOther:    '.',
+}
+
+// Timeline renders a Fig. 5-style ASCII Gantt chart: one row per container
+// (sampled down to maxRows), columns spanning [0, makespan], each stage
+// drawn with its digit. Useful for eyeballing where serialization happens.
+func (r *Recorder) Timeline(width, maxRows int) string {
+	ids := r.Containers()
+	if len(ids) == 0 {
+		return "(no containers recorded)\n"
+	}
+	var makespan time.Duration
+	for _, id := range ids {
+		if e, ok := r.ends[id]; ok && e > makespan {
+			makespan = e
+		}
+	}
+	if makespan == 0 {
+		return "(no completed containers)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	step := len(ids) / maxRows
+	if step < 1 {
+		step = 1
+	}
+	col := func(t time.Duration) int {
+		c := int(int64(t) * int64(width) / int64(makespan))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d containers, makespan %v, '·'=waiting\n", len(ids), makespan.Round(time.Millisecond))
+	for i := 0; i < len(ids); i += step {
+		id := ids[i]
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		if s, ok := r.starts[id]; ok {
+			e, okE := r.ends[id]
+			if !okE {
+				e = makespan
+			}
+			for j := col(s); j <= col(e) && j < width; j++ {
+				row[j] = '-'
+			}
+		}
+		for _, sp := range r.spans {
+			if sp.Container != id {
+				continue
+			}
+			g, ok := timelineGlyphs[sp.Stage]
+			if !ok {
+				g = '?'
+			}
+			for j := col(sp.Start); j <= col(sp.End) && j < width; j++ {
+				row[j] = g
+			}
+		}
+		fmt.Fprintf(&b, "ctr%-4d |%s|\n", id, string(row))
+	}
+	return b.String()
+}

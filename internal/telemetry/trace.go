@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event ("Trace Event Format") record.
+// Complete events (ph="X") carry their duration inline.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // microseconds
+	Dur  int64             `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object envelope Perfetto and chrome://tracing both
+// accept.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the recorded spans in Chrome trace-event format:
+// one track (tid) per container, one complete event per span, plus a
+// "startup" umbrella event spanning MarkStart..MarkEnd. The output loads
+// directly into chrome://tracing or https://ui.perfetto.dev, giving the
+// interactive version of the paper's Fig. 5.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var events []traceEvent
+	for _, id := range r.Containers() {
+		start, okS := r.starts[id]
+		end, okE := r.ends[id]
+		if okS && okE {
+			events = append(events, traceEvent{
+				Name: "startup",
+				Cat:  "container",
+				Ph:   "X",
+				TS:   start.Microseconds(),
+				Dur:  (end - start).Microseconds(),
+				PID:  1,
+				TID:  id,
+				Args: map[string]string{"total": (end - start).Round(time.Millisecond).String()},
+			})
+		}
+	}
+	for _, sp := range r.spans {
+		cat := "other"
+		if sp.Stage.VFRelated() {
+			cat = "vf-related"
+		}
+		events = append(events, traceEvent{
+			Name: string(sp.Stage),
+			Cat:  cat,
+			Ph:   "X",
+			TS:   sp.Start.Microseconds(),
+			Dur:  sp.Dur().Microseconds(),
+			PID:  1,
+			TID:  sp.Container,
+		})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].TS < events[j].TS
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

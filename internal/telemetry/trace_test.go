@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRecorder()
+	r.MarkStart(0, 0)
+	r.MarkEnd(0, 2*time.Second)
+	r.Record(0, StageVFIODev, 100*time.Millisecond, 1500*time.Millisecond)
+	r.Record(0, StageCgroup, 0, 50*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("time unit %q", parsed.DisplayTimeUnit)
+	}
+	if len(parsed.TraceEvents) != 3 { // startup + 2 spans
+		t.Fatalf("events = %d, want 3", len(parsed.TraceEvents))
+	}
+	byName := map[string]int{}
+	for _, e := range parsed.TraceEvents {
+		byName[e.Name]++
+		if e.Ph != "X" {
+			t.Errorf("event %s phase %q", e.Name, e.Ph)
+		}
+	}
+	if byName["startup"] != 1 || byName["4-vfio-dev"] != 1 || byName["0-cgroup"] != 1 {
+		t.Errorf("events: %v", byName)
+	}
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "4-vfio-dev" {
+			if e.Cat != "vf-related" {
+				t.Errorf("vfio cat = %q", e.Cat)
+			}
+			if e.TS != 100_000 || e.Dur != 1_400_000 {
+				t.Errorf("vfio ts/dur = %d/%d", e.TS, e.Dur)
+			}
+		}
+	}
+}
+
+func TestChromeTraceIncompleteContainer(t *testing.T) {
+	r := NewRecorder()
+	r.MarkStart(0, 0) // never ends
+	r.Record(0, StageCgroup, 0, time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	events := parsed["traceEvents"].([]any)
+	if len(events) != 1 { // span only; no umbrella for incomplete startup
+		t.Errorf("events = %d, want 1", len(events))
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("invalid JSON for empty recorder")
+	}
+}

@@ -1,0 +1,197 @@
+package vfio
+
+import (
+	"fmt"
+
+	"fastiov/internal/hostmem"
+	"fastiov/internal/sim"
+)
+
+// This file models the VFIO userspace API surface the hypervisor actually
+// programs against (§2.1, Fig. 2): IOMMU groups and containers.
+//
+//   - A Group is the unit of assignment: the set of devices that cannot be
+//     isolated from one another by the IOMMU. SR-IOV VFs get singleton
+//     groups (they are ACS-isolated functions).
+//   - A Container (/dev/vfio/vfio) is one I/O address space; groups attach
+//     to it, and DMA mappings are established per container.
+//
+// The UAPI ordering rules are enforced as in the kernel: a device fd can
+// only be obtained from a group attached to a container; a group attaches
+// to at most one container; mappings die with the container.
+//
+// Note the orthogonality to devsets: groups partition devices by *IOMMU
+// isolation*, devsets by *reset domain*. VFs are singleton groups and yet
+// share one big devset — which is exactly why their opens contend (§3.2.2).
+
+// Group is one IOMMU group.
+type Group struct {
+	ID      int
+	driver  *Driver
+	devices []*Device
+	cont    *Container
+}
+
+// Container is one I/O address space (a /dev/vfio/vfio fd).
+type Container struct {
+	ID     int
+	driver *Driver
+	groups []*Group
+	// mappings tracks container-level DMA mappings: iovaBase -> region.
+	mappings map[int64]*hostmem.Region
+	closed   bool
+}
+
+// Group returns the device's IOMMU group (created at Register).
+func (vd *Device) Group() *Group { return vd.group }
+
+// OpenContainer creates a fresh container.
+func (d *Driver) OpenContainer() *Container {
+	d.nextCont++
+	return &Container{ID: d.nextCont, driver: d, mappings: make(map[int64]*hostmem.Region)}
+}
+
+// AttachGroup implements VFIO_GROUP_SET_CONTAINER: binds the group's
+// devices to the container's I/O address space. A group may be attached to
+// only one container at a time; every device in the group adopts the
+// container's IOMMU domain.
+func (c *Container) AttachGroup(p *sim.Proc, g *Group) error {
+	if c.closed {
+		return fmt.Errorf("vfio: container %d closed", c.ID)
+	}
+	if g.cont != nil {
+		return fmt.Errorf("vfio: group %d already attached to container %d", g.ID, g.cont.ID)
+	}
+	dom := c.driver.mmu.CreateDomain()
+	for _, vd := range g.devices {
+		if vd.domain != nil {
+			c.driver.mmu.DestroyDomain(dom)
+			return fmt.Errorf("vfio: device %s already has a domain", vd.PDev.Addr)
+		}
+	}
+	for _, vd := range g.devices {
+		vd.domain = dom
+	}
+	g.cont = c
+	c.groups = append(c.groups, g)
+	return nil
+}
+
+// GetDeviceFD implements VFIO_GROUP_GET_DEVICE_FD: the open path that runs
+// through the devset lock (§3.2.2). It requires the group to be attached
+// to a container first — the ordering QEMU's vfio realize follows.
+func (g *Group) GetDeviceFD(p *sim.Proc, vd *Device) (int, error) {
+	if g.cont == nil {
+		return 0, fmt.Errorf("vfio: group %d not attached to a container", g.ID)
+	}
+	found := false
+	for _, m := range g.devices {
+		if m == vd {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("vfio: device %s not in group %d", vd.PDev.Addr, g.ID)
+	}
+	return g.driver.Open(p, vd), nil
+}
+
+// MapDMA implements VFIO_IOMMU_MAP_DMA at container scope: the mapping
+// pipeline of Fig. 6 into the container's shared domain.
+func (c *Container) MapDMA(p *sim.Proc, iovaBase, bytes int64, hook ZeroHook) (*hostmem.Region, error) {
+	if c.closed {
+		return nil, fmt.Errorf("vfio: container %d closed", c.ID)
+	}
+	if len(c.groups) == 0 {
+		return nil, fmt.Errorf("vfio: container %d has no attached groups", c.ID)
+	}
+	if _, dup := c.mappings[iovaBase]; dup {
+		return nil, fmt.Errorf("vfio: container %d IOVA %#x already mapped", c.ID, iovaBase)
+	}
+	// Delegate to the first attached device's mapping path (all devices in
+	// the container share one domain).
+	vd := c.groups[0].devices[0]
+	region, err := c.driver.MapDMA(p, vd, iovaBase, bytes, hook)
+	if err != nil {
+		return nil, err
+	}
+	c.mappings[iovaBase] = region
+	return region, nil
+}
+
+// UnmapDMA implements VFIO_IOMMU_UNMAP_DMA.
+func (c *Container) UnmapDMA(p *sim.Proc, iovaBase int64) error {
+	if _, ok := c.mappings[iovaBase]; !ok {
+		return fmt.Errorf("vfio: container %d: no mapping at %#x", c.ID, iovaBase)
+	}
+	vd := c.groups[0].devices[0]
+	if err := c.driver.UnmapDMA(p, vd, iovaBase); err != nil {
+		return err
+	}
+	delete(c.mappings, iovaBase)
+	return nil
+}
+
+// Close tears the container down: every mapping is unmapped, the domain is
+// destroyed, and groups detach. Devices must be closed first.
+func (c *Container) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	for _, g := range c.groups {
+		for _, vd := range g.devices {
+			if vd.openCount > 0 {
+				return fmt.Errorf("vfio: device %s still open", vd.PDev.Addr)
+			}
+		}
+	}
+	for _, iova := range c.orderedMappings() {
+		if err := c.UnmapDMA(p, iova); err != nil {
+			return err
+		}
+	}
+	for _, g := range c.groups {
+		// All devices in the container share one domain; release it once.
+		for _, vd := range g.devices {
+			if vd.domain != nil {
+				if len(vd.dmaRegions) > 0 {
+					return fmt.Errorf("vfio: %d stray mappings on %s", len(vd.dmaRegions), vd.PDev.Addr)
+				}
+			}
+		}
+	}
+	if len(c.groups) > 0 {
+		first := c.groups[0].devices[0]
+		if first.domain != nil {
+			dom := first.domain
+			for _, g := range c.groups {
+				for _, vd := range g.devices {
+					vd.domain = nil
+				}
+			}
+			c.driver.mmu.DestroyDomain(dom)
+		}
+	}
+	for _, g := range c.groups {
+		g.cont = nil
+	}
+	c.groups = nil
+	c.closed = true
+	return nil
+}
+
+// orderedMappings returns mapping bases in ascending order so teardown is
+// deterministic.
+func (c *Container) orderedMappings() []int64 {
+	out := make([]int64, 0, len(c.mappings))
+	for iova := range c.mappings {
+		out = append(out, iova)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

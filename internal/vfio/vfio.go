@@ -1,0 +1,390 @@
+// Package vfio models the Linux VFIO driver: userspace-assignable devices,
+// device sets (devsets) that group devices by reset domain, the device-open
+// path the hypervisor takes during VF registration, and the DMA memory
+// mapping path (retrieve → zero → pin → map, Fig. 6).
+//
+// Two lock disciplines are implemented side by side:
+//
+//   - LockGlobal: the vanilla driver's single devset-wide mutex, which
+//     serializes every open/close of every VF sharing a bus-level reset
+//     domain — the paper's bottleneck 1 (§3.2.2).
+//   - LockParentChild: FastIOV's hierarchical decomposition (§4.2.1) — a
+//     devset-level rwlock plus a per-device mutex, making inter-device
+//     opens parallel while devset-wide operations (reset) stay exclusive.
+package vfio
+
+import (
+	"fmt"
+	"time"
+
+	"fastiov/internal/hostmem"
+	"fastiov/internal/iommu"
+	"fastiov/internal/pci"
+	"fastiov/internal/sim"
+)
+
+// LockMode selects the devset locking discipline.
+type LockMode uint8
+
+const (
+	// LockGlobal is the vanilla single-mutex design.
+	LockGlobal LockMode = iota
+	// LockParentChild is FastIOV's hierarchical rwlock+mutex design.
+	LockParentChild
+)
+
+func (m LockMode) String() string {
+	if m == LockParentChild {
+		return "parent-child"
+	}
+	return "global-mutex"
+}
+
+// Costs is the open-path cost model. Defaults approximate the testbed: the
+// dominant term is the PCI bus scan over the full VF population performed
+// under the devset lock.
+type Costs struct {
+	// BusScanPerDevice is the per-device cost of the membership scan the
+	// open path performs over every device on the bus.
+	BusScanPerDevice time.Duration
+	// OpenCountCheck is the fixed cost of validating the devset's total
+	// open count.
+	OpenCountCheck time.Duration
+	// DeviceReset is the function-level reset issued when a device is
+	// opened or released.
+	DeviceReset time.Duration
+	// FDSetup covers fd allocation, region info queries, and irq setup.
+	FDSetup time.Duration
+	// Bind/Unbind are the sysfs driver (re)bind costs (§5's implementation
+	// flaw: vanilla SR-IOV CNI pays these on every container start).
+	Bind   time.Duration
+	Unbind time.Duration
+}
+
+// DefaultCosts mirrors the calibration in DESIGN.md §5.
+func DefaultCosts() Costs {
+	return Costs{
+		BusScanPerDevice: 320 * time.Microsecond,
+		OpenCountCheck:   100 * time.Microsecond,
+		DeviceReset:      8 * time.Millisecond,
+		FDSetup:          2 * time.Millisecond,
+		Bind:             25 * time.Millisecond,
+		Unbind:           15 * time.Millisecond,
+	}
+}
+
+// ZeroHook, when non-nil, replaces eager zeroing in the DMA-map path:
+// FastIOV's fastiovd module registers the region for lazy zeroing instead.
+type ZeroHook func(p *sim.Proc, region *hostmem.Region)
+
+// Driver is the VFIO driver instance.
+type Driver struct {
+	k     *sim.Kernel
+	topo  *pci.Topology
+	mem   *hostmem.Allocator
+	mmu   *iommu.IOMMU
+	mode  LockMode
+	costs Costs
+
+	busSets   map[int]*DevSet // bus number -> shared devset
+	devices   map[*pci.Device]*Device
+	nextFD    int
+	nextSet   int
+	nextGroup int
+	nextCont  int
+}
+
+// New creates a driver.
+func New(k *sim.Kernel, topo *pci.Topology, mem *hostmem.Allocator, mmu *iommu.IOMMU, mode LockMode, costs Costs) *Driver {
+	return &Driver{
+		k:       k,
+		topo:    topo,
+		mem:     mem,
+		mmu:     mmu,
+		mode:    mode,
+		costs:   costs,
+		busSets: make(map[int]*DevSet),
+		devices: make(map[*pci.Device]*Device),
+	}
+}
+
+// Mode returns the configured lock discipline.
+func (d *Driver) Mode() LockMode { return d.mode }
+
+// DevSet groups devices sharing a reset domain (§3.2.2).
+type DevSet struct {
+	ID      int
+	devices []*Device
+	// totalOpen is the devset's global state: the sum of member open
+	// counts. Under LockGlobal it is guarded by the global mutex; under
+	// LockParentChild it is maintained under the per-child mutex and read
+	// exactly under the write lock (an intra-parent operation).
+	totalOpen int
+
+	global *sim.Mutex   // vanilla discipline
+	rw     *sim.RWMutex // hierarchical discipline (parent lock)
+}
+
+// Devices returns the member devices.
+func (s *DevSet) Devices() []*Device { return s.devices }
+
+// TotalOpen returns the devset-wide open count.
+func (s *DevSet) TotalOpen() int { return s.totalOpen }
+
+// GlobalLockStats exposes contention counters for the experiment reports.
+func (s *DevSet) GlobalLockStats() (acquisitions, contended uint64) {
+	return s.global.Acquisitions, s.global.Contended
+}
+
+// Device is a VFIO-bound device.
+type Device struct {
+	PDev *pci.Device
+	Set  *DevSet
+
+	openCount int
+	mu        *sim.Mutex // child lock (hierarchical discipline)
+	fd        int
+
+	domain *iommu.Domain
+	// dmaRegions tracks live DMA mappings: iovaBase -> backing region.
+	dmaRegions map[int64]*hostmem.Region
+	// group is the device's IOMMU group (singleton for ACS-isolated VFs).
+	group *Group
+}
+
+// OpenCount returns the device's local open count.
+func (vd *Device) OpenCount() int { return vd.openCount }
+
+// FD returns the last fd handed out by Open (0 if never opened).
+func (vd *Device) FD() int { return vd.fd }
+
+// Domain returns the device's IOMMU domain (nil until first DMA map).
+func (vd *Device) Domain() *iommu.Domain { return vd.domain }
+
+// Register admits a PCI device into VFIO management, forming or joining its
+// devset: slot-reset-capable devices get a singleton devset; bus-reset
+// devices join the shared devset of their bus. The device must already be
+// bound to the vfio-pci driver.
+func (d *Driver) Register(pdev *pci.Device) (*Device, error) {
+	if pdev.Driver() != "vfio-pci" {
+		return nil, fmt.Errorf("vfio: %s bound to %q, not vfio-pci", pdev.Addr, pdev.Driver())
+	}
+	if _, dup := d.devices[pdev]; dup {
+		return nil, fmt.Errorf("vfio: %s already registered", pdev.Addr)
+	}
+	var set *DevSet
+	if pdev.Reset == pci.ResetSlot {
+		set = d.newSet()
+	} else {
+		set = d.busSets[pdev.Addr.Bus]
+		if set == nil {
+			set = d.newSet()
+			d.busSets[pdev.Addr.Bus] = set
+		}
+	}
+	vd := &Device{
+		PDev:       pdev,
+		Set:        set,
+		mu:         sim.NewMutex(fmt.Sprintf("vfio-dev-%s", pdev.Addr)),
+		dmaRegions: make(map[int64]*hostmem.Region),
+	}
+	set.devices = append(set.devices, vd)
+	d.devices[pdev] = vd
+	// Every ACS-isolated function forms a singleton IOMMU group (Fig. 2).
+	d.nextGroup++
+	vd.group = &Group{ID: d.nextGroup, driver: d, devices: []*Device{vd}}
+	return vd, nil
+}
+
+func (d *Driver) newSet() *DevSet {
+	d.nextSet++
+	return &DevSet{
+		ID:     d.nextSet,
+		global: sim.NewMutex(fmt.Sprintf("vfio-devset-%d", d.nextSet)),
+		rw:     sim.NewRWMutex(fmt.Sprintf("vfio-devset-%d", d.nextSet)),
+	}
+}
+
+// Unregister removes a device from VFIO management. It must be closed.
+func (d *Driver) Unregister(vd *Device) error {
+	if vd.openCount > 0 {
+		return fmt.Errorf("vfio: %s still open", vd.PDev.Addr)
+	}
+	delete(d.devices, vd.PDev)
+	for i, m := range vd.Set.devices {
+		if m == vd {
+			vd.Set.devices = append(vd.Set.devices[:i], vd.Set.devices[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Lookup returns the VFIO device for a PCI device.
+func (d *Driver) Lookup(pdev *pci.Device) (*Device, bool) {
+	vd, ok := d.devices[pdev]
+	return vd, ok
+}
+
+// Open performs the device-open path of VF registration (§3.2.2): the
+// hypervisor obtains an fd for the device, which resets the function and
+// updates the devset open state. The locking discipline determines whether
+// concurrent opens of different devices in the same devset serialize.
+func (d *Driver) Open(p *sim.Proc, vd *Device) int {
+	switch d.mode {
+	case LockGlobal:
+		vd.Set.global.Lock(p)
+		d.openWork(p, vd, true)
+		vd.Set.global.Unlock(p)
+	case LockParentChild:
+		// Inter-child operation: parent read lock + child mutex. Opens of
+		// different devices proceed in parallel; a devset-wide reset
+		// (write lock) excludes them all.
+		vd.Set.rw.RLock(p)
+		vd.mu.Lock(p)
+		d.openWork(p, vd, false)
+		vd.mu.Unlock(p)
+		vd.Set.rw.RUnlock(p)
+	}
+	return vd.fd
+}
+
+// openWork is the body of the open path. Under the vanilla discipline it
+// includes the full-bus membership scan; under the hierarchical discipline
+// the scan is deferred to devset-wide reset, which is the only operation
+// that needs the devset-global view.
+func (d *Driver) openWork(p *sim.Proc, vd *Device, scanBus bool) {
+	if scanBus {
+		n := len(vd.PDev.Bus().Devices())
+		p.Sleep(time.Duration(n) * d.costs.BusScanPerDevice)
+	}
+	p.Sleep(d.costs.OpenCountCheck)
+	if vd.openCount == 0 {
+		p.Sleep(d.costs.DeviceReset)
+	}
+	p.Sleep(d.costs.FDSetup)
+	vd.openCount++
+	vd.Set.totalOpen++
+	d.nextFD++
+	vd.fd = d.nextFD
+}
+
+// Close releases one open of the device, resetting it on last close.
+func (d *Driver) Close(p *sim.Proc, vd *Device) {
+	release := func() {
+		if vd.openCount <= 0 {
+			panic("vfio: close of unopened device " + vd.PDev.Addr.String())
+		}
+		vd.openCount--
+		vd.Set.totalOpen--
+		if vd.openCount == 0 {
+			p.Sleep(d.costs.DeviceReset)
+		}
+	}
+	switch d.mode {
+	case LockGlobal:
+		vd.Set.global.Lock(p)
+		n := len(vd.PDev.Bus().Devices())
+		p.Sleep(time.Duration(n) * d.costs.BusScanPerDevice)
+		release()
+		vd.Set.global.Unlock(p)
+	case LockParentChild:
+		vd.Set.rw.RLock(p)
+		vd.mu.Lock(p)
+		release()
+		vd.mu.Unlock(p)
+		vd.Set.rw.RUnlock(p)
+	}
+}
+
+// ResetSet performs a devset-wide (bus-level) reset: an intra-parent
+// operation. It fails if any member is open (the open-count invariant the
+// devset exists to protect). Under both disciplines it is fully exclusive.
+func (d *Driver) ResetSet(p *sim.Proc, s *DevSet) error {
+	var unlock func()
+	switch d.mode {
+	case LockGlobal:
+		s.global.Lock(p)
+		unlock = func() { s.global.Unlock(p) }
+	case LockParentChild:
+		s.rw.Lock(p)
+		unlock = func() { s.rw.Unlock(p) }
+	}
+	defer unlock()
+	if len(s.devices) > 0 {
+		n := len(s.devices[0].PDev.Bus().Devices())
+		p.Sleep(time.Duration(n) * d.costs.BusScanPerDevice)
+	}
+	if s.totalOpen > 0 {
+		return fmt.Errorf("vfio: devset %d busy: %d opens", s.ID, s.totalOpen)
+	}
+	for range s.devices {
+		p.Sleep(d.costs.DeviceReset)
+	}
+	return nil
+}
+
+// MapDMA is the DMA memory mapping path (Fig. 6): retrieve host pages for
+// the guest region, zero them (eagerly, or via the hook's deferred
+// discipline), pin them, and install IOVA→HPA translations. Returns the
+// backing host region.
+//
+// Note the ordering: QEMU's vfio realize path sets up the IOMMU container
+// and maps guest memory through its memory listener BEFORE obtaining the
+// device fd, so MapDMA is legal on a registered-but-unopened device. This
+// matches the paper's Fig. 5, where 1-dma-ram precedes 4-vfio-dev.
+func (d *Driver) MapDMA(p *sim.Proc, vd *Device, iovaBase, bytes int64, hook ZeroHook) (*hostmem.Region, error) {
+	if _, dup := vd.dmaRegions[iovaBase]; dup {
+		return nil, fmt.Errorf("vfio: IOVA %#x already mapped for %s", iovaBase, vd.PDev.Addr)
+	}
+	if vd.domain == nil {
+		vd.domain = d.mmu.CreateDomain()
+	}
+	region, err := d.mem.Allocate(p, bytes) // retrieve
+	if err != nil {
+		return nil, err
+	}
+	if hook != nil {
+		hook(p, region) // deferred (lazy) zeroing
+	} else {
+		d.mem.ZeroRegion(p, region) // eager zeroing
+	}
+	d.mem.Pin(p, region) // pin
+	if err := vd.domain.Map(p, iovaBase, region); err != nil {
+		d.mem.Unpin(p, region)
+		d.mem.Free(p, region)
+		return nil, err
+	}
+	vd.dmaRegions[iovaBase] = region
+	return region, nil
+}
+
+// UnmapDMA tears down a mapping, unpinning and freeing the host pages.
+func (d *Driver) UnmapDMA(p *sim.Proc, vd *Device, iovaBase int64) error {
+	region, ok := vd.dmaRegions[iovaBase]
+	if !ok {
+		return fmt.Errorf("vfio: no mapping at IOVA %#x for %s", iovaBase, vd.PDev.Addr)
+	}
+	delete(vd.dmaRegions, iovaBase)
+	vd.domain.Unmap(p, iovaBase, region.Bytes)
+	d.mem.Unpin(p, region)
+	d.mem.Free(p, region)
+	return nil
+}
+
+// ReleaseDomain destroys the device's IOMMU domain after all mappings are
+// gone (container teardown).
+func (d *Driver) ReleaseDomain(vd *Device) error {
+	if len(vd.dmaRegions) > 0 {
+		return fmt.Errorf("vfio: %d live mappings on %s", len(vd.dmaRegions), vd.PDev.Addr)
+	}
+	if vd.domain != nil {
+		d.mmu.DestroyDomain(vd.domain)
+		vd.domain = nil
+	}
+	return nil
+}
+
+// BindCost and UnbindCost expose the sysfs (re)bind costs for the CNI layer.
+func (d *Driver) BindCost() time.Duration   { return d.costs.Bind }
+func (d *Driver) UnbindCost() time.Duration { return d.costs.Unbind }

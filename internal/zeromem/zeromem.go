@@ -1,0 +1,251 @@
+// Package zeromem is a real (non-simulated) implementation of FastIOV's
+// decoupled lazy zeroing (§4.3.2) over ordinary Go memory: an arena of
+// pages that begin "dirty" (holding residual data), a registry that defers
+// their clearing, first-touch zeroing on acquisition (the EPT-fault analog),
+// an instant-zeroing list for pages the owner writes before first guest
+// access, and a background scrubber that drains the remainder.
+//
+// It is useful wherever large buffers are recycled between distrusting
+// users and the clearing cost should move off the allocation path: buffer
+// pools, slab recyclers, arena allocators.
+package zeromem
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Page states, stored atomically per page.
+const (
+	stateDirty uint32 = iota
+	stateZeroing
+	stateClean // zeroed or legitimately written by the current owner
+)
+
+// Arena is a pool of fixed-size pages carved from one backing slice.
+type Arena struct {
+	buf      []byte
+	pageSize int
+	state    []atomic.Uint32
+
+	// LazyZeroed, ScrubZeroed, InstantZeroed count pages cleared on each
+	// path, for effectiveness reporting.
+	LazyZeroed    atomic.Int64
+	ScrubZeroed   atomic.Int64
+	InstantZeroed atomic.Int64
+
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
+}
+
+// NewArena allocates an arena of pages × pageSize bytes. Pages are filled
+// with a residual-data pattern so that tests (and misuse) surface reads of
+// unzeroed memory.
+func NewArena(pages, pageSize int) *Arena {
+	if pages <= 0 || pageSize <= 0 {
+		panic("zeromem: invalid geometry")
+	}
+	a := &Arena{
+		buf:      make([]byte, pages*pageSize),
+		pageSize: pageSize,
+		state:    make([]atomic.Uint32, pages),
+	}
+	for i := range a.buf {
+		a.buf[i] = 0xA5 // previous tenant's "secrets"
+	}
+	return a
+}
+
+// Pages returns the page count.
+func (a *Arena) Pages() int { return len(a.state) }
+
+// PageSize returns the page granule in bytes.
+func (a *Arena) PageSize() int { return a.pageSize }
+
+// raw returns page i's bytes without any state transition. Internal and
+// test use only.
+func (a *Arena) raw(i int) []byte {
+	return a.buf[i*a.pageSize : (i+1)*a.pageSize]
+}
+
+// Acquire returns page i, guaranteed zeroed-or-owner-written, clearing it
+// on first touch (the EPT-fault path). Safe for concurrent use: exactly one
+// caller zeroes; others spin briefly until the page is clean.
+func (a *Arena) Acquire(i int) []byte {
+	for {
+		switch a.state[i].Load() {
+		case stateClean:
+			return a.raw(i)
+		case stateDirty:
+			if a.state[i].CompareAndSwap(stateDirty, stateZeroing) {
+				zero(a.raw(i))
+				a.state[i].Store(stateClean)
+				a.LazyZeroed.Add(1)
+				return a.raw(i)
+			}
+		case stateZeroing:
+			// Another acquirer or the scrubber is mid-zero; the window is
+			// one page-clear long, so spinning is appropriate.
+		}
+	}
+}
+
+// MarkWritten declares that the caller has (or is about to) fill page i
+// with its own data — the instant-zeroing-list analog: the page must not be
+// lazily zeroed later, or the data would be destroyed. It zeroes the page
+// now if still dirty (residual data must not leak around the caller's
+// partial writes).
+func (a *Arena) MarkWritten(i int) []byte {
+	for {
+		switch a.state[i].Load() {
+		case stateClean:
+			return a.raw(i)
+		case stateDirty:
+			if a.state[i].CompareAndSwap(stateDirty, stateZeroing) {
+				zero(a.raw(i))
+				a.state[i].Store(stateClean)
+				a.InstantZeroed.Add(1)
+				return a.raw(i)
+			}
+		case stateZeroing:
+		}
+	}
+}
+
+// Release returns page i to the dirty pool (the owner departed; its data is
+// residual for the next owner).
+func (a *Arena) Release(i int) {
+	a.state[i].Store(stateDirty)
+}
+
+// Dirty reports whether page i still awaits zeroing.
+func (a *Arena) Dirty(i int) bool { return a.state[i].Load() == stateDirty }
+
+// EagerZeroAll clears every dirty page synchronously (the vanilla
+// allocation-time discipline, for comparison benchmarks).
+func (a *Arena) EagerZeroAll() {
+	for i := range a.state {
+		if a.state[i].CompareAndSwap(stateDirty, stateZeroing) {
+			zero(a.raw(i))
+			a.state[i].Store(stateClean)
+		}
+	}
+}
+
+// StartScrubber launches the background thread of §5: every interval it
+// zeroes up to pagesPerPass dirty pages. Stop with StopScrubber.
+func (a *Arena) StartScrubber(interval time.Duration, pagesPerPass int) {
+	if a.scrubStop != nil {
+		panic("zeromem: scrubber already running")
+	}
+	a.scrubStop = make(chan struct{})
+	a.scrubWG.Add(1)
+	go func() {
+		defer a.scrubWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		cursor := 0
+		for {
+			select {
+			case <-a.scrubStop:
+				return
+			case <-ticker.C:
+			}
+			cleared := 0
+			for scanned := 0; scanned < len(a.state) && cleared < pagesPerPass; scanned++ {
+				i := cursor
+				cursor = (cursor + 1) % len(a.state)
+				if a.state[i].CompareAndSwap(stateDirty, stateZeroing) {
+					zero(a.raw(i))
+					a.state[i].Store(stateClean)
+					a.ScrubZeroed.Add(1)
+					cleared++
+				}
+			}
+		}
+	}()
+}
+
+// StopScrubber halts the background thread and waits for it to exit.
+func (a *Arena) StopScrubber() {
+	if a.scrubStop == nil {
+		return
+	}
+	close(a.scrubStop)
+	a.scrubWG.Wait()
+	a.scrubStop = nil
+}
+
+// zero clears b. The Go compiler recognizes this loop and emits an
+// optimized memclr.
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Registry is the two-tier deferred-zeroing table of §5 over an Arena:
+// first tier keyed by owner id (the microVM PID analog), second tier by
+// page index. It lets one arena serve many owners whose tracked pages are
+// registered, lazily zeroed on fault, and dropped wholesale on owner exit.
+type Registry struct {
+	arena *Arena
+
+	mu     sync.Mutex
+	tables map[int]map[int]struct{}
+}
+
+// NewRegistry wraps an arena.
+func NewRegistry(a *Arena) *Registry {
+	return &Registry{arena: a, tables: make(map[int]map[int]struct{})}
+}
+
+// Register defers zeroing of the given pages for owner. The pages must
+// currently belong to the owner (freshly allocated to it).
+func (r *Registry) Register(owner int, pages []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.tables[owner]
+	if t == nil {
+		t = make(map[int]struct{}, len(pages))
+		r.tables[owner] = t
+	}
+	for _, pg := range pages {
+		t[pg] = struct{}{}
+	}
+}
+
+// OnFault is the first-touch hook: if the page is tracked for owner, it is
+// zeroed and untracked; the returned slice is safe to read.
+func (r *Registry) OnFault(owner, page int) []byte {
+	r.mu.Lock()
+	t := r.tables[owner]
+	if t != nil {
+		if _, ok := t[page]; ok {
+			delete(t, page)
+			if len(t) == 0 {
+				delete(r.tables, owner)
+			}
+			r.mu.Unlock()
+			return r.arena.Acquire(page)
+		}
+	}
+	r.mu.Unlock()
+	return r.arena.raw(page)
+}
+
+// Tracked returns the number of pages still deferred for owner.
+func (r *Registry) Tracked(owner int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tables[owner])
+}
+
+// Drop discards owner's table without zeroing (owner teardown: its pages
+// return to the dirty pool via Arena.Release).
+func (r *Registry) Drop(owner int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tables, owner)
+}

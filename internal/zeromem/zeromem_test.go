@@ -1,0 +1,277 @@
+package zeromem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPagesStartDirty(t *testing.T) {
+	a := NewArena(8, 4096)
+	for i := 0; i < 8; i++ {
+		if !a.Dirty(i) {
+			t.Errorf("page %d not dirty at start", i)
+		}
+		if allZero(a.raw(i)) {
+			t.Errorf("page %d holds zeros, want residual pattern", i)
+		}
+	}
+}
+
+func TestAcquireZeroesFirstTouch(t *testing.T) {
+	a := NewArena(4, 4096)
+	b := a.Acquire(2)
+	if !allZero(b) {
+		t.Error("acquired page not zeroed")
+	}
+	if a.LazyZeroed.Load() != 1 {
+		t.Errorf("lazy count = %d", a.LazyZeroed.Load())
+	}
+	// Second acquire: no re-zero.
+	b[0] = 7
+	b2 := a.Acquire(2)
+	if b2[0] != 7 {
+		t.Error("second acquire re-zeroed the page")
+	}
+	if a.LazyZeroed.Load() != 1 {
+		t.Error("second acquire counted as lazy zero")
+	}
+}
+
+func TestReleaseMakesDirtyAgain(t *testing.T) {
+	a := NewArena(2, 1024)
+	b := a.Acquire(0)
+	copy(b, []byte("tenant-secret"))
+	a.Release(0)
+	if !a.Dirty(0) {
+		t.Fatal("released page not dirty")
+	}
+	// Next owner's acquire must not see the secret.
+	if got := a.Acquire(0); !allZero(got) {
+		t.Error("residual data leaked to next owner")
+	}
+}
+
+func TestMarkWrittenPreservesOwnerData(t *testing.T) {
+	a := NewArena(2, 1024)
+	b := a.MarkWritten(0)
+	copy(b, []byte("kernel-image"))
+	// A later acquire (first guest touch) must NOT zero the owner's data —
+	// the §4.3.2 crash this API prevents.
+	got := a.Acquire(0)
+	if string(got[:12]) != "kernel-image" {
+		t.Errorf("owner data destroyed: %q", got[:12])
+	}
+	if a.LazyZeroed.Load() != 0 {
+		t.Error("owner-written page was lazily zeroed")
+	}
+}
+
+func TestMarkWrittenClearsResidualFirst(t *testing.T) {
+	a := NewArena(1, 1024)
+	b := a.MarkWritten(0)
+	// The caller writes only part of the page; the rest must not leak the
+	// previous pattern.
+	copy(b, []byte("short"))
+	if b[100] != 0 {
+		t.Error("residual bytes survive around a partial owner write")
+	}
+}
+
+func TestConcurrentAcquireSinglePage(t *testing.T) {
+	a := NewArena(1, 4096)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !allZero(a.Acquire(0)) {
+				t.Error("concurrent acquire returned unzeroed page")
+			}
+		}()
+	}
+	wg.Wait()
+	if n := a.LazyZeroed.Load(); n != 1 {
+		t.Errorf("page zeroed %d times, want exactly 1", n)
+	}
+}
+
+func TestEagerZeroAll(t *testing.T) {
+	a := NewArena(16, 1024)
+	a.EagerZeroAll()
+	for i := 0; i < 16; i++ {
+		if a.Dirty(i) {
+			t.Errorf("page %d dirty after eager zero", i)
+		}
+		if !allZero(a.raw(i)) {
+			t.Errorf("page %d not zero after eager zero", i)
+		}
+	}
+}
+
+func TestScrubberDrains(t *testing.T) {
+	a := NewArena(64, 1024)
+	a.StartScrubber(time.Millisecond, 16)
+	defer a.StopScrubber()
+	deadline := time.After(2 * time.Second)
+	for {
+		dirty := 0
+		for i := 0; i < a.Pages(); i++ {
+			if a.Dirty(i) {
+				dirty++
+			}
+		}
+		if dirty == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("scrubber left %d dirty pages", dirty)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if a.ScrubZeroed.Load() != 64 {
+		t.Errorf("scrub count = %d, want 64", a.ScrubZeroed.Load())
+	}
+}
+
+func TestScrubberAndAcquireCompose(t *testing.T) {
+	a := NewArena(256, 512)
+	a.StartScrubber(100*time.Microsecond, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w * 64; i < (w+1)*64; i++ {
+				if !allZero(a.Acquire(i)) {
+					t.Errorf("page %d unzeroed", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	a.StopScrubber()
+	if total := a.LazyZeroed.Load() + a.ScrubZeroed.Load(); total != 256 {
+		t.Errorf("lazy(%d)+scrub(%d) = %d, want 256 (each page zeroed exactly once)",
+			a.LazyZeroed.Load(), a.ScrubZeroed.Load(), total)
+	}
+}
+
+func TestStopScrubberIdempotent(t *testing.T) {
+	a := NewArena(4, 512)
+	a.StopScrubber() // never started: no-op
+	a.StartScrubber(time.Millisecond, 4)
+	a.StopScrubber()
+	a.StopScrubber()
+}
+
+func TestDoubleStartScrubberPanics(t *testing.T) {
+	a := NewArena(4, 512)
+	a.StartScrubber(time.Millisecond, 4)
+	defer a.StopScrubber()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	a.StartScrubber(time.Millisecond, 4)
+}
+
+func TestRegistryFaultPath(t *testing.T) {
+	a := NewArena(16, 1024)
+	r := NewRegistry(a)
+	r.Register(7, []int{0, 1, 2, 3})
+	if r.Tracked(7) != 4 {
+		t.Fatalf("tracked = %d", r.Tracked(7))
+	}
+	if !allZero(r.OnFault(7, 1)) {
+		t.Error("fault path returned unzeroed page")
+	}
+	if r.Tracked(7) != 3 {
+		t.Errorf("tracked after fault = %d", r.Tracked(7))
+	}
+	// Untracked page for a different owner passes through untouched.
+	r.OnFault(9, 8)
+	if a.LazyZeroed.Load() != 1 {
+		t.Errorf("lazy zeroed = %d, want 1", a.LazyZeroed.Load())
+	}
+}
+
+func TestRegistryDrop(t *testing.T) {
+	a := NewArena(8, 512)
+	r := NewRegistry(a)
+	r.Register(1, []int{0, 1})
+	r.Drop(1)
+	if r.Tracked(1) != 0 {
+		t.Error("drop left pages tracked")
+	}
+	// Fault on a dropped page does not zero.
+	r.OnFault(1, 0)
+	if a.LazyZeroed.Load() != 0 {
+		t.Error("dropped page lazily zeroed")
+	}
+}
+
+func TestRegistryIndependentOwners(t *testing.T) {
+	a := NewArena(8, 512)
+	r := NewRegistry(a)
+	r.Register(1, []int{0, 1})
+	r.Register(2, []int{2, 3, 4})
+	r.OnFault(1, 0)
+	if r.Tracked(1) != 1 || r.Tracked(2) != 3 {
+		t.Errorf("tracked = %d/%d, want 1/3", r.Tracked(1), r.Tracked(2))
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewArena(0, 4096)
+}
+
+// Property: for any access pattern over a small arena, every Acquire
+// observes a fully zeroed or owner-written page — never residual 0xA5.
+func TestNoResidualLeakProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewArena(8, 256)
+		written := make(map[int]bool)
+		for _, op := range ops {
+			pg := int(op % 8)
+			switch (op >> 3) % 3 {
+			case 0:
+				b := a.Acquire(pg)
+				for _, v := range b {
+					if v == 0xA5 && !written[pg] {
+						return false
+					}
+				}
+			case 1:
+				b := a.MarkWritten(pg)
+				b[0] = 0xA5 // owner data that happens to match the pattern
+				written[pg] = true
+			case 2:
+				a.Release(pg)
+				written[pg] = false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
