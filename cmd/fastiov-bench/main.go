@@ -6,15 +6,22 @@
 //	fastiov-bench -experiment fig11
 //	fastiov-bench -experiment all -n 100
 //	fastiov-bench -experiment fig12 -csv
+//	fastiov-bench -experiment all -workers 8 -seeds 5
+//	fastiov-bench -experiment all -verify-determinism
 //
 // With -n <= 0 every experiment runs at its paper-default parameters
 // (concurrency 200 for the headline results). -csv emits the table as CSV
-// instead of aligned text.
+// instead of aligned text. -workers fans independent simulation runs across
+// a worker pool (0 = GOMAXPROCS); -seeds K sweeps each scenario over seeds
+// 1..K and reports scalar metrics as mean ±95% CI; -verify-determinism runs
+// every simulation twice and every experiment both parallel and serial,
+// failing on any byte-level divergence.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,59 +44,104 @@ func sanitize(id string) string {
 	}, id)
 }
 
-func main() {
+// run executes the CLI against argv (without the program name), writing
+// reports to stdout and diagnostics to stderr, and returns the exit code.
+// A failing experiment no longer aborts the batch: every requested id runs,
+// errors are reported per id, and the exit code is 1 if any failed.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fastiov-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (see -list), comma list, or 'all'")
-		n          = flag.Int("n", 0, "concurrency override (<=0 = paper defaults)")
-		csv        = flag.Bool("csv", false, "emit tables as CSV")
-		outDir     = flag.String("out", "", "also write each experiment's table as CSV into this directory")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
+		experiment = fs.String("experiment", "all", "experiment id (see -list), comma list, or 'all'")
+		n          = fs.Int("n", 0, "concurrency override (<=0 = paper defaults)")
+		csv        = fs.Bool("csv", false, "emit tables as CSV")
+		outDir     = fs.String("out", "", "also write each experiment's table as CSV into this directory")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		seeds      = fs.Int("seeds", 1, "seeds per scenario (sweep over seeds 1..K; scalar metrics become mean ±95% CI)")
+		workers    = fs.Int("workers", 1, "concurrent simulation runs (0 = GOMAXPROCS)")
+		verify     = fs.Bool("verify-determinism", false, "run each simulation twice and each experiment parallel+serial, failing on divergence")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "fastiov-bench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fastiov-bench:", err)
+			return 1
 		}
 	}
 
-	suite := fastiov.Experiments()
+	suite := fastiov.NewSuite(fastiov.RunConfig{
+		Workers:           *workers,
+		Seeds:             fastiov.SeedList(*seeds),
+		VerifyDeterminism: *verify,
+	})
+	entries := suite.Experiments()
 	if *list {
-		for _, e := range suite {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		for _, e := range entries {
+			fmt.Fprintf(stdout, "%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var ids []string
 	if *experiment == "all" {
-		for _, e := range suite {
+		for _, e := range entries {
 			ids = append(ids, e.ID)
 		}
 	} else {
 		ids = strings.Split(*experiment, ",")
 	}
 
+	failed := 0
+	total := time.Now()
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
-		rep, err := fastiov.RunExperiment(id, *n)
+		if *verify {
+			if err := suite.VerifyDeterminism(id, *n); err != nil {
+				fmt.Fprintf(stderr, "fastiov-bench: %s: determinism: %v\n", id, err)
+				failed++
+				continue
+			}
+		}
+		rep, err := suite.Run(id, *n)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fastiov-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "fastiov-bench: %s: %v\n", id, err)
+			failed++
+			continue
 		}
 		if *csv && rep.Table != nil {
-			fmt.Printf("# %s: %s\n%s", rep.ID, rep.Title, rep.Table.CSV())
+			fmt.Fprintf(stdout, "# %s: %s\n%s", rep.ID, rep.Title, rep.Table.CSV())
 		} else {
-			fmt.Print(rep.String())
+			fmt.Fprint(stdout, rep.String())
 		}
 		if *outDir != "" && rep.Table != nil {
 			path := filepath.Join(*outDir, sanitize(rep.ID)+".csv")
 			if err := os.WriteFile(path, []byte(rep.Table.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "fastiov-bench:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "fastiov-bench:", err)
+				failed++
+				continue
 			}
 		}
-		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if len(ids) > 1 {
+		st := suite.CacheStats()
+		fmt.Fprintf(stdout, "(suite: %d experiments in %v; %d sim runs, %d cache hits",
+			len(ids), time.Since(total).Round(time.Millisecond), st.Runs, st.Hits)
+		if st.Verified > 0 {
+			fmt.Fprintf(stdout, ", %d verified", st.Verified)
+		}
+		fmt.Fprint(stdout, ")\n")
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "fastiov-bench: %d of %d experiments failed\n", failed, len(ids))
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

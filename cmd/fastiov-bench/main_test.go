@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+func TestSanitize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"fig11", "fig11"},
+		{"fig16a-d", "fig16a-d"},
+		{"sec6.5", "sec6_5"},
+		{"abl-busscan", "abl-busscan"},
+		{"UPPER", "_____"},
+		{"a/b\\c", "a_b_c"},
+		{"", ""},
+		{"..", "__"},
+		{"id with spaces", "id_with_spaces"},
+	}
+	for _, c := range cases {
+		if got := sanitize(c.in); got != c.want {
+			t.Errorf("sanitize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// stripTimes removes the wall-time trailer lines, which are the only
+// nondeterministic part of the output at a fixed seed.
+func stripTimes(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "(") && strings.Contains(line, "wall time)") {
+			continue
+		}
+		if strings.HasPrefix(line, "(suite:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// golden runs the CLI and compares stripped stdout against a golden file,
+// rewriting it under -update.
+func golden(t *testing.T, name string, argv []string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(argv, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", argv, code, stderr.String())
+	}
+	got := stripTimes(stdout.String())
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/fastiov-bench -run TestGolden -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update after intended changes):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// The golden tests pin the exact rendered output of two representative
+// experiments at the default seed and a small fixed concurrency: fig11
+// (the headline all-baselines table plus notes) and tab1 (the stage
+// breakdown), in both text and CSV form. Any unintended change to the
+// simulation, statistics, or rendering shows up as a byte diff.
+func TestGoldenFig11Text(t *testing.T) {
+	golden(t, "fig11_n20.txt", []string{"-experiment", "fig11", "-n", "20"})
+}
+
+func TestGoldenFig11CSV(t *testing.T) {
+	golden(t, "fig11_n20.csv", []string{"-experiment", "fig11", "-n", "20", "-csv"})
+}
+
+func TestGoldenTab1Text(t *testing.T) {
+	golden(t, "tab1_n20.txt", []string{"-experiment", "tab1", "-n", "20"})
+}
+
+func TestGoldenTab1CSV(t *testing.T) {
+	golden(t, "tab1_n20.csv", []string{"-experiment", "tab1", "-n", "20", "-csv"})
+}
+
+// TestErrorAggregation checks that a failing experiment no longer aborts
+// the batch: healthy ids still run and render, every bad id is reported,
+// and the exit code signals failure once at the end.
+func TestErrorAggregation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "bogus1,tab1,bogus2", "-n", "20"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	errText := stderr.String()
+	for _, want := range []string{"bogus1", "bogus2", "2 of 3 experiments failed"} {
+		if !strings.Contains(errText, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errText)
+		}
+	}
+	if !strings.Contains(stdout.String(), "tab1") {
+		t.Errorf("healthy experiment tab1 did not render:\n%s", stdout.String())
+	}
+}
+
+func TestListExits0(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	for _, id := range []string{"fig1", "fig11", "tab1", "bg-dataplane"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+}
+
+func TestBadFlagExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestOutDirWritesCSV checks the -out side channel.
+func TestOutDirWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "tab1", "-n", "20", "-out", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "tab1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Step") {
+		t.Errorf("tab1.csv missing header: %s", b)
+	}
+}
+
+// TestWorkersMatchSerial is the CLI-level parallel==serial identity: the
+// same ids at the same seeds must render byte-identically regardless of
+// worker count.
+func TestWorkersMatchSerial(t *testing.T) {
+	argsSerial := []string{"-experiment", "fig11,tab1", "-n", "20", "-seeds", "2", "-workers", "1"}
+	argsParallel := []string{"-experiment", "fig11,tab1", "-n", "20", "-seeds", "2", "-workers", "8"}
+	var out1, out2, errBuf bytes.Buffer
+	if code := run(argsSerial, &out1, &errBuf); code != 0 {
+		t.Fatalf("serial: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if code := run(argsParallel, &out2, &errBuf); code != 0 {
+		t.Fatalf("parallel: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if s1, s2 := stripTimes(out1.String()), stripTimes(out2.String()); s1 != s2 {
+		t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s1, s2)
+	}
+}

@@ -1,0 +1,121 @@
+package fastiov_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fastiov"
+)
+
+// testConcurrency keeps the property test fast: defConc(20) expands to a
+// {10, 50, 20} sweep for sweep-style experiments and a straight n=20 for
+// the rest, exercising every runner well below paper scale.
+const testConcurrency = 20
+
+// seedInsensitive lists experiments whose report legitimately does not
+// change with the seed: they measure deterministic machinery with no
+// arrival jitter or placement randomness on the measured path.
+var seedInsensitive = map[string]string{
+	"sec6.5":       "single-container fault-count/elapsed measurement over a fixed access sweep; no randomness on the measured path",
+	"bg-dataplane": "single-container packet streaming through fixed cost models; start jitter does not affect throughput or latency",
+}
+
+// runAt executes one experiment on a fresh single-worker suite pinned to
+// one seed and returns the report's canonical encoding.
+func runAt(t *testing.T, id string, seed uint64) []byte {
+	t.Helper()
+	s := fastiov.NewSuite(fastiov.RunConfig{Workers: 1, Seeds: []uint64{seed}})
+	rep, err := s.Run(id, testConcurrency)
+	if err != nil {
+		t.Fatalf("%s @seed=%d: %v", id, seed, err)
+	}
+	return rep.Encode()
+}
+
+// TestExperimentDeterminism is the suite-wide determinism property: every
+// registered experiment, run twice at the same seed on fresh suites, must
+// produce byte-identical reports; run at a different seed, the report must
+// change (unless the experiment is documented seed-insensitive).
+func TestExperimentDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry property test")
+	}
+	for _, e := range fastiov.Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			a := runAt(t, e.ID, 7)
+			b := runAt(t, e.ID, 7)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: two runs at seed 7 diverge:\n--- run1 ---\n%s\n--- run2 ---\n%s", e.ID, a, b)
+			}
+			c := runAt(t, e.ID, 8)
+			if why, ok := seedInsensitive[e.ID]; ok {
+				if !bytes.Equal(a, c) {
+					t.Errorf("%s is listed seed-insensitive (%s) but seed 8 changed the report", e.ID, why)
+				}
+				return
+			}
+			if bytes.Equal(a, c) {
+				t.Errorf("%s: seed 8 produced the same report as seed 7 — seed is not reaching the simulation", e.ID)
+			}
+		})
+	}
+}
+
+// TestSuiteVerifyDeterminism exercises the public verification mode on a
+// representative experiment: parallel execution through the pool must be
+// byte-equivalent to serial execution.
+func TestSuiteVerifyDeterminism(t *testing.T) {
+	s := fastiov.NewSuite(fastiov.RunConfig{
+		Workers:           4,
+		Seeds:             fastiov.SeedList(2),
+		VerifyDeterminism: true,
+	})
+	if err := s.VerifyDeterminism("fig11", testConcurrency); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Verified == 0 {
+		t.Error("verify mode recorded no verified runs")
+	}
+}
+
+// TestSuiteSharedCache checks the cross-experiment scenario cache: fig5 and
+// tab1 render different views of the same vanilla startup scenario, so the
+// second experiment must hit the cache instead of re-simulating.
+func TestSuiteSharedCache(t *testing.T) {
+	s := fastiov.NewSuite(fastiov.RunConfig{Workers: 1})
+	if _, err := s.Run("fig5", testConcurrency); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterFirst := s.CacheStats().Runs
+	if _, err := s.Run("tab1", testConcurrency); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.Runs != runsAfterFirst {
+		t.Errorf("tab1 re-simulated a scenario fig5 already ran: runs %d -> %d", runsAfterFirst, st.Runs)
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits recorded across fig5+tab1")
+	}
+}
+
+// TestMultiSeedChangesEstimates checks that sweeping seeds actually feeds
+// the confidence intervals: a two-seed run must differ from a one-seed run.
+func TestMultiSeedChangesEstimates(t *testing.T) {
+	one := fastiov.NewSuite(fastiov.RunConfig{Workers: 1, Seeds: fastiov.SeedList(1)})
+	two := fastiov.NewSuite(fastiov.RunConfig{Workers: 1, Seeds: fastiov.SeedList(2)})
+	rep1, err := one.Run("fig11", testConcurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := two.Run("fig11", testConcurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(rep1.Encode(), rep2.Encode()) {
+		t.Error("two-seed sweep produced the same fig11 report as a single seed")
+	}
+}

@@ -112,96 +112,95 @@ type Experiment struct {
 	Run func(n int) (*Report, error)
 }
 
-// Experiments returns the full suite, one entry per paper table/figure.
-func Experiments() []Experiment {
-	defConc := func(n int) []int {
-		if n > 0 {
-			return []int{10, 50, n}
-		}
-		return nil
-	}
-	pick := func(n, def int) int {
-		if n > 0 {
-			return n
-		}
-		return def
-	}
-	return []Experiment{
-		{"fig1", "SR-IOV overhead vs concurrency", func(n int) (*Report, error) {
-			return experiments.Fig1(defConc(n))
-		}},
-		{"fig5", "Startup timeline breakdown", func(n int) (*Report, error) {
-			return experiments.Fig5(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"tab1", "Stage time proportions", func(n int) (*Report, error) {
-			return experiments.Table1(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"fig11", "Average startup time, all baselines", func(n int) (*Report, error) {
-			return experiments.Fig11(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"fig12", "Startup time distribution", func(n int) (*Report, error) {
-			return experiments.Fig12(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"fig13a", "Impact of concurrency", func(n int) (*Report, error) {
-			return experiments.Fig13a(defConc(n))
-		}},
-		{"fig13b", "Impact of memory allocation", func(n int) (*Report, error) {
-			return experiments.Fig13b(nil, pick(n, 50))
-		}},
-		{"fig13c", "Fully loaded server", func(n int) (*Report, error) {
-			return experiments.Fig13c(defConc(n))
-		}},
-		{"fig14", "Comparison with software CNI", func(n int) (*Report, error) {
-			return experiments.Fig14(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"sec6.5", "Memory access performance", func(n int) (*Report, error) {
-			return experiments.MemPerf()
-		}},
-		{"fig15", "Serverless application performance", func(n int) (*Report, error) {
-			return experiments.Fig15(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"fig16a-d", "Serverless apps vs concurrency", func(n int) (*Report, error) {
-			return experiments.Fig16Concurrency(defConc(n))
-		}},
-		{"fig16e-h", "Serverless apps vs memory", func(n int) (*Report, error) {
-			return experiments.Fig16Memory(nil, pick(n, 50))
-		}},
-		{"fig16i-l", "Serverless apps, fully loaded", func(n int) (*Report, error) {
-			return experiments.Fig16FullyLoaded(defConc(n))
-		}},
-		// Ablations beyond the paper's figures (DESIGN.md §4) and the §7
-		// future-work investigation.
-		{"abl-busscan", "Devset bus-scan cost vs VF population", func(n int) (*Report, error) {
-			return experiments.AblationBusScan(pick(n, 50), nil)
-		}},
-		{"abl-pagesize", "DMA retrieval vs page size (P2, Fig. 6)", func(n int) (*Report, error) {
-			return experiments.AblationPageSize(pick(n, 10))
-		}},
-		{"abl-scrubber", "fastiovd background scrubber", func(n int) (*Report, error) {
-			return experiments.AblationScrubber(pick(n, 50))
-		}},
-		{"abl-slotreset", "Devset contention vs reset capability", func(n int) (*Report, error) {
-			return experiments.AblationSlotReset(pick(n, 100))
-		}},
-		{"future-vdpa", "vDPA control plane (§7)", func(n int) (*Report, error) {
-			return experiments.FutureVDPA(pick(n, experiments.DefaultConcurrency))
-		}},
-		{"bg-dataplane", "Data-plane receive path (§1 premise)", func(n int) (*Report, error) {
-			return experiments.DataPlane(0, nil)
-		}},
-		{"ext-arrivals", "Arrival-pattern sensitivity", func(n int) (*Report, error) {
-			return experiments.ExtArrivals(pick(n, experiments.DefaultConcurrency))
-		}},
-	}
+// RunConfig configures a Suite.
+type RunConfig struct {
+	// Workers bounds how many independent simulation runs execute
+	// concurrently; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Seeds lists the PRNG seeds each scenario sweeps; empty selects the
+	// historical default of the single seed 1.
+	Seeds []uint64
+	// VerifyDeterminism makes the suite execute every simulation run twice
+	// and fail on any byte-level divergence of the canonical result
+	// encoding.
+	VerifyDeterminism bool
 }
 
-// RunExperiment executes the suite entry with the given id. n <= 0 selects
-// the paper-default parameters.
-func RunExperiment(id string, n int) (*Report, error) {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return e.Run(n)
-		}
+// Suite is a configured instance of the experiment suite: a worker pool,
+// a seed sweep, and a scenario cache shared by every experiment run
+// through it (figures that need the same scenario simulate it once).
+type Suite struct {
+	cfg RunConfig
+	x   *experiments.Exec
+}
+
+// NewSuite builds a suite from cfg.
+func NewSuite(cfg RunConfig) *Suite {
+	x := experiments.NewExec(cfg.Workers, cfg.Seeds)
+	x.SetVerify(cfg.VerifyDeterminism)
+	return &Suite{cfg: cfg, x: x}
+}
+
+// SeedList returns the conventional seed sweep 1..k for RunConfig.Seeds.
+func SeedList(k int) []uint64 { return experiments.SeedList(k) }
+
+// Experiments returns the suite entries, one per paper table/figure.
+func (s *Suite) Experiments() []Experiment {
+	entries := experiments.Registry()
+	out := make([]Experiment, len(entries))
+	for i, e := range entries {
+		e := e
+		out[i] = Experiment{ID: e.ID, Title: e.Title, Run: func(n int) (*Report, error) {
+			return e.Run(s.x, n)
+		}}
 	}
-	return nil, fmt.Errorf("fastiov: unknown experiment %q", id)
+	return out
+}
+
+// Run executes the suite entry with the given id. n <= 0 selects the
+// paper-default parameters.
+func (s *Suite) Run(id string, n int) (*Report, error) {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, fmt.Errorf("fastiov: unknown experiment %q", id)
+	}
+	return e.Run(s.x, n)
+}
+
+// CacheStats reports how many simulation runs the suite executed and how
+// many scenario requests its cache absorbed.
+func (s *Suite) CacheStats() experiments.CacheStats { return s.x.CacheStats() }
+
+// VerifyDeterminism runs the experiment twice — once through this suite's
+// configured worker pool and once serially on a fresh single-worker suite —
+// and fails unless the two reports are byte-identical. This checks both
+// that the simulation is deterministic under its seed and that parallel
+// execution is observationally equivalent to serial execution.
+func (s *Suite) VerifyDeterminism(id string, n int) error {
+	rep1, err := s.Run(id, n)
+	if err != nil {
+		return err
+	}
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds})
+	rep2, err := serial.Run(id, n)
+	if err != nil {
+		return fmt.Errorf("%s: serial re-run: %w", id, err)
+	}
+	b1, b2 := rep1.Encode(), rep2.Encode()
+	if off, detail := experiments.FirstDivergence(b1, b2); off >= 0 {
+		return fmt.Errorf("fastiov: experiment %q diverges between parallel and serial runs at byte %d: %s", id, off, detail)
+	}
+	return nil
+}
+
+// Experiments returns the full suite at its default configuration (serial,
+// single seed — the historical behaviour).
+func Experiments() []Experiment {
+	return NewSuite(RunConfig{Workers: 1}).Experiments()
+}
+
+// RunExperiment executes the suite entry with the given id on a default
+// (serial, single-seed) suite. n <= 0 selects the paper-default parameters.
+func RunExperiment(id string, n int) (*Report, error) {
+	return NewSuite(RunConfig{Workers: 1}).Run(id, n)
 }

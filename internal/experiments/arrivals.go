@@ -13,7 +13,10 @@ import (
 // FastIOV's gain depends on requests arriving simultaneously? Poisson and
 // uniformly spread arrivals relax the contention the devset lock turns
 // into queueing delay.
-func ExtArrivals(n int) (*Report, error) {
+func ExtArrivals(n int) (*Report, error) { return defaultExec().ExtArrivals(n) }
+
+// ExtArrivals on an executor.
+func (x *Exec) ExtArrivals(n int) (*Report, error) {
 	if n <= 0 {
 		n = DefaultConcurrency
 	}
@@ -25,36 +28,30 @@ func ExtArrivals(n int) (*Report, error) {
 		{"poisson 50/s", cluster.Arrival{Kind: cluster.ArrivalPoisson, RatePerSec: 50}},
 		{"uniform 20s", cluster.Arrival{Kind: cluster.ArrivalUniform, Window: 20 * time.Second}},
 	}
+	var specs []startupSpec
+	for _, pat := range patterns {
+		arr := pat.arrival
+		specs = append(specs,
+			startupSpec{Baseline: cluster.BaselineVanilla, N: n, Arrival: &arr},
+			startupSpec{Baseline: cluster.BaselineFastIOV, N: n, Arrival: &arr})
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("arrival pattern", "vanilla avg", "fastiov avg", "reduction %")
 	rep := &Report{ID: "ext-arrivals", Title: fmt.Sprintf("Arrival-pattern sensitivity (n=%d)", n), Table: t}
-	for _, pat := range patterns {
-		measure := func(name string) (time.Duration, error) {
-			opts, err := cluster.OptionsFor(name)
-			if err != nil {
-				return 0, err
-			}
-			opts.Arrival = pat.arrival
-			h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
-			if err != nil {
-				return 0, err
-			}
-			res := h.StartupExperiment(n)
-			if res.Err != nil {
-				return 0, res.Err
-			}
-			return res.Totals.Mean(), nil
+	for i, pat := range patterns {
+		van, fio := rs[2*i], rs[2*i+1]
+		perSeed := make([]float64, len(van.PerSeed()))
+		for k := range van.PerSeed() {
+			perSeed[k] = 100 * stats.ReductionRatio(
+				van.PerSeed()[k].Totals.Mean(), fio.PerSeed()[k].Totals.Mean())
 		}
-		van, err := measure(cluster.BaselineVanilla)
-		if err != nil {
-			return nil, err
-		}
-		fio, err := measure(cluster.BaselineFastIOV)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(pat.label, van, fio, 100*stats.ReductionRatio(van, fio))
+		t.AddRow(pat.label, van.MeanTotal(), fio.MeanTotal(), pctString(perSeed))
 	}
 	rep.Notes = append(rep.Notes,
 		"the devset queue saturates under burst and moderate Poisson load, where FastIOV's gain is largest; once arrivals spread widely the queue drains between requests and the gain shrinks")
+	seedNote(rep, x, "per-pattern means")
 	return rep, nil
 }

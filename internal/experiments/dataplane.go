@@ -2,35 +2,38 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"fastiov/internal/cluster"
 	"fastiov/internal/dataplane"
+	"fastiov/internal/harness"
 	"fastiov/internal/sim"
 	"fastiov/internal/stats"
 )
 
-// DataPlane quantifies the premise of §1: SR-IOV passthrough's data-plane
-// advantage over the software (virtio/ipvtap-style) path. It starts one
-// FastIOV secure container, then streams packets through both receive
-// paths into the same guest, reporting throughput and latency.
-func DataPlane(packets int, sizes []int64) (*Report, error) {
-	if packets <= 0 {
-		packets = 50_000
-	}
-	if len(sizes) == 0 {
-		sizes = []int64{64, 1500, 9000}
-	}
+// dpOutcome is one data-plane measurement point: both receive paths at one
+// packet size, measured on a freshly booted FastIOV container.
+type dpOutcome struct {
+	Pass dataplane.Result
+	Virt dataplane.Result
+}
+
+// dpRun boots one FastIOV secure container and streams packets packets of
+// the given size through both receive paths. Each (size, seed) point is an
+// independent job so the sweep parallelizes; unlike the original serial
+// loop, every point gets a fresh host, which keeps points independent of
+// sweep order.
+func dpRun(packets int, size int64, seed uint64) (*dpOutcome, error) {
 	opts, err := cluster.OptionsFor(cluster.BaselineFastIOV)
 	if err != nil {
 		return nil, err
 	}
+	opts.Seed = seed
 	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
 	if err != nil {
 		return nil, err
 	}
-	t := stats.NewTable("path", "pkt size", "throughput Gbps", "lat p50", "lat p99")
-	rep := &Report{ID: "bg-dataplane", Title: fmt.Sprintf("Data-plane receive path (%d packets per point)", packets), Table: t}
-
+	var out dpOutcome
 	var runErr error
 	h.K.Go("dataplane", func(p *sim.Proc) {
 		sb, err := h.Eng.RunPodSandbox(p, 0)
@@ -46,28 +49,23 @@ func DataPlane(packets int, sizes []int64) (*Report, error) {
 			runErr = err
 			return
 		}
-		for _, size := range sizes {
-			pt := &dataplane.Passthrough{
-				NIC:    h.NIC,
-				Domain: mvm.VFDevice().Domain(),
-				Mem:    h.Mem,
-				VM:     mvm.VM,
-				Costs:  dataplane.DefaultCosts(),
-			}
-			res, err := pt.Stream(p, packets, size, 0, window)
-			if err != nil {
-				runErr = err
-				return
-			}
-			t.AddRow("sriov-passthrough", size, fmt.Sprintf("%.2f", res.Throughput), res.LatP50, res.LatP99)
-
-			vr := &dataplane.Virtio{Mem: h.Mem, VM: mvm.VM, Costs: dataplane.DefaultCosts()}
-			vres, err := vr.Stream(p, packets, size, 0, window)
-			if err != nil {
-				runErr = err
-				return
-			}
-			t.AddRow("software-virtio", size, fmt.Sprintf("%.2f", vres.Throughput), vres.LatP50, vres.LatP99)
+		pt := &dataplane.Passthrough{
+			NIC:    h.NIC,
+			Domain: mvm.VFDevice().Domain(),
+			Mem:    h.Mem,
+			VM:     mvm.VM,
+			Costs:  dataplane.DefaultCosts(),
+		}
+		out.Pass, err = pt.Stream(p, packets, size, 0, window)
+		if err != nil {
+			runErr = err
+			return
+		}
+		vr := &dataplane.Virtio{Mem: h.Mem, VM: mvm.VM, Costs: dataplane.DefaultCosts()}
+		out.Virt, err = vr.Stream(p, packets, size, 0, window)
+		if err != nil {
+			runErr = err
+			return
 		}
 	})
 	h.K.Run()
@@ -77,7 +75,84 @@ func DataPlane(packets int, sizes []int64) (*Report, error) {
 	if h.Mem.Violations != 0 {
 		return nil, fmt.Errorf("dataplane: %d violations", h.Mem.Violations)
 	}
+	return &out, nil
+}
+
+// fingerprintDP canonically serializes a data-plane point for determinism
+// verification.
+func fingerprintDP(v any) ([]byte, error) {
+	out, ok := v.(*dpOutcome)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fingerprinting %T, want *dpOutcome", v)
+	}
+	return fmt.Appendf(nil, "pass %+v\nvirt %+v\n", out.Pass, out.Virt), nil
+}
+
+// gbpsString renders per-seed throughputs as "9.87" or "9.87 ±0.12" Gbps.
+func gbpsString(perSeed []float64) string {
+	mean, half, n := stats.FloatEstimateOf(perSeed)
+	if n < 2 {
+		return fmt.Sprintf("%.2f", mean)
+	}
+	return fmt.Sprintf("%.2f ±%.2f", mean, half)
+}
+
+// DataPlane quantifies the premise of §1: SR-IOV passthrough's data-plane
+// advantage over the software (virtio/ipvtap-style) path. It starts one
+// FastIOV secure container per packet size, then streams packets through
+// both receive paths into the same guest, reporting throughput and latency.
+func DataPlane(packets int, sizes []int64) (*Report, error) {
+	return defaultExec().DataPlane(packets, sizes)
+}
+
+// DataPlane on an executor.
+func (x *Exec) DataPlane(packets int, sizes []int64) (*Report, error) {
+	if packets <= 0 {
+		packets = 50_000
+	}
+	if len(sizes) == 0 {
+		sizes = []int64{64, 1500, 9000}
+	}
+	jobs := make([]harness.Job, 0, len(sizes)*len(x.seeds))
+	for _, size := range sizes {
+		size := size
+		for _, seed := range x.seeds {
+			seed := seed
+			jobs = append(jobs, harness.Job{
+				Key:         harness.Key{Scope: "dataplane", Params: fmt.Sprintf("packets=%d size=%d", packets, size), Seed: seed},
+				Fn:          func() (any, error) { return dpRun(packets, size, seed) },
+				Fingerprint: fingerprintDP,
+			})
+		}
+	}
+	vals, err := x.pool.Do(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("path", "pkt size", "throughput Gbps", "lat p50", "lat p99")
+	rep := &Report{ID: "bg-dataplane", Title: fmt.Sprintf("Data-plane receive path (%d packets per point)", packets), Table: t}
+	k := 0
+	for _, size := range sizes {
+		perSeed := make([]*dpOutcome, len(x.seeds))
+		for j := range x.seeds {
+			perSeed[j] = vals[k].(*dpOutcome)
+			k++
+		}
+		passGbps := make([]float64, len(perSeed))
+		virtGbps := make([]float64, len(perSeed))
+		for j, o := range perSeed {
+			passGbps[j] = o.Pass.Throughput
+			virtGbps[j] = o.Virt.Throughput
+		}
+		t.AddRow("sriov-passthrough", size, gbpsString(passGbps),
+			stats.EstimateMetric(perSeed, func(o *dpOutcome) time.Duration { return o.Pass.LatP50 }),
+			stats.EstimateMetric(perSeed, func(o *dpOutcome) time.Duration { return o.Pass.LatP99 }))
+		t.AddRow("software-virtio", size, gbpsString(virtGbps),
+			stats.EstimateMetric(perSeed, func(o *dpOutcome) time.Duration { return o.Virt.LatP50 }),
+			stats.EstimateMetric(perSeed, func(o *dpOutcome) time.Duration { return o.Virt.LatP99 }))
+	}
 	rep.Notes = append(rep.Notes,
 		"passthrough avoids the host-stack hop and vhost copy: the §1 rationale for building the CNI on SR-IOV at all")
+	seedNote(rep, x, "throughput and latency points")
 	return rep, nil
 }

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/harness"
+	"fastiov/internal/hypervisor"
+	"fastiov/internal/serverless"
+	"fastiov/internal/stats"
+	"fastiov/internal/telemetry"
+)
+
+// Exec is a configured experiment executor: a worker pool that fans
+// independent simulation runs (scenario × seed) across GOMAXPROCS-style
+// parallelism, plus the seed list each scenario sweeps. One Exec shared
+// across experiments also shares one result cache, so scenarios that
+// several figures need (vanilla at c=200 appears in six of them) simulate
+// exactly once.
+type Exec struct {
+	pool  *harness.Pool
+	seeds []uint64
+}
+
+// NewExec returns an executor with the given worker count (<= 0 selects
+// GOMAXPROCS) and seed list (empty selects the historical default seed 1,
+// keeping single-seed output identical to pre-sweep runs).
+func NewExec(workers int, seeds []uint64) *Exec {
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	return &Exec{pool: harness.New(workers), seeds: append([]uint64(nil), seeds...)}
+}
+
+// SeedList returns 1..k, the conventional seed sweep.
+func SeedList(k int) []uint64 {
+	if k < 1 {
+		k = 1
+	}
+	seeds := make([]uint64, k)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	return seeds
+}
+
+// defaultExec is the executor behind the package-level convenience
+// wrappers: serial, single seed — the pre-harness behaviour.
+func defaultExec() *Exec { return NewExec(1, nil) }
+
+// Seeds returns the executor's seed list (not a copy; callers must not
+// mutate).
+func (x *Exec) Seeds() []uint64 { return x.seeds }
+
+// Workers returns the executor's concurrency bound.
+func (x *Exec) Workers() int { return x.pool.Workers() }
+
+// SetVerify toggles scenario-level determinism verification: every sim run
+// executes twice and any byte-level divergence of its canonical result
+// encoding fails the experiment.
+func (x *Exec) SetVerify(v bool) { x.pool.SetVerify(v) }
+
+// CacheStats aliases the pool's traffic counters so callers above the
+// experiments layer need not import the harness directly.
+type CacheStats = harness.Stats
+
+// CacheStats reports scenario-cache traffic.
+func (x *Exec) CacheStats() CacheStats { return x.pool.Stats() }
+
+// FirstDivergence re-exports harness.FirstDivergence for report-level
+// byte comparison.
+func FirstDivergence(a, b []byte) (offset int, detail string) {
+	return harness.FirstDivergence(a, b)
+}
+
+// ----------------------------------------------------------------------
+// Startup scenarios: one baseline at one concurrency, optional overrides.
+
+// startupSpec identifies one independently schedulable startup run. Every
+// field participates in the cache key, so equal specs at equal seeds are
+// one simulation.
+type startupSpec struct {
+	Baseline string
+	N        int
+	// Layout overrides the per-container guest memory geometry.
+	Layout *hypervisor.Layout
+	// Spec overrides the whole host (VF population, memory geometry, NIC).
+	Spec *cluster.HostSpec
+	// DisableScrubber turns off fastiovd's background zeroing thread.
+	DisableScrubber bool
+	// Arrival overrides the invocation arrival process.
+	Arrival *cluster.Arrival
+}
+
+// params canonically encodes the spec for the cache key.
+func (s startupSpec) params() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b=%s n=%d", s.Baseline, s.N)
+	if s.Layout != nil {
+		fmt.Fprintf(&b, " layout=%+v", *s.Layout)
+	}
+	if s.Spec != nil {
+		fmt.Fprintf(&b, " spec=%+v", *s.Spec)
+	}
+	if s.DisableScrubber {
+		b.WriteString(" noscrub")
+	}
+	if s.Arrival != nil {
+		fmt.Fprintf(&b, " arrival=%+v", *s.Arrival)
+	}
+	return b.String()
+}
+
+// run executes the spec at one seed on a private simulated host. The
+// returned result is sealed (samples pre-sorted) and must be treated as
+// immutable: the harness caches and shares it across experiments.
+func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
+	opts, err := cluster.OptionsFor(s.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	opts.Seed = seed
+	if s.Layout != nil {
+		opts.Layout = *s.Layout
+	}
+	if s.DisableScrubber {
+		opts.DisableScrubber = true
+	}
+	if s.Arrival != nil {
+		opts.Arrival = *s.Arrival
+	}
+	spec := cluster.DefaultHostSpec()
+	if s.Spec != nil {
+		spec = *s.Spec
+	}
+	h, err := cluster.NewHost(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := h.StartupExperiment(s.N)
+	if res.Err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Baseline, res.Err)
+	}
+	res.Totals.Sort()
+	res.VFRelated.Sort()
+	return res, nil
+}
+
+// fingerprintResult canonically serializes a startup run for determinism
+// verification: every per-container total plus the full telemetry record.
+func fingerprintResult(v any) ([]byte, error) {
+	res, ok := v.(*cluster.Result)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fingerprinting %T, want *cluster.Result", v)
+	}
+	var b []byte
+	for _, d := range res.Totals.Values() {
+		b = fmt.Appendf(b, "total %d\n", d)
+	}
+	for _, d := range res.VFRelated.Values() {
+		b = fmt.Appendf(b, "vf %d\n", d)
+	}
+	return res.Recorder.AppendCanonical(b), nil
+}
+
+// MultiResult is one startup scenario's outcome across the executor's
+// seeds. Scalar metrics aggregate across seeds into mean ± 95% CI; rich
+// renderings (timelines, breakdowns, CDFs) come from the primary (first)
+// seed's full record.
+type MultiResult struct {
+	seeds   []uint64
+	perSeed []*cluster.Result
+}
+
+// Primary returns the first seed's full result.
+func (m *MultiResult) Primary() *cluster.Result { return m.perSeed[0] }
+
+// PerSeed returns every seed's result, in seed-list order.
+func (m *MultiResult) PerSeed() []*cluster.Result { return m.perSeed }
+
+// Metric aggregates f over every seed's result.
+func (m *MultiResult) Metric(f func(*cluster.Result) time.Duration) stats.Estimate {
+	return stats.EstimateMetric(m.perSeed, f)
+}
+
+// MeanTotal is the cross-seed estimate of the average startup time.
+func (m *MultiResult) MeanTotal() stats.Estimate {
+	return m.Metric(func(r *cluster.Result) time.Duration { return r.Totals.Mean() })
+}
+
+// TotalPercentile is the cross-seed estimate of a startup-time percentile.
+func (m *MultiResult) TotalPercentile(p float64) stats.Estimate {
+	return m.Metric(func(r *cluster.Result) time.Duration { return r.Totals.Percentile(p) })
+}
+
+// MaxTotal is the cross-seed estimate of the slowest container's startup.
+func (m *MultiResult) MaxTotal() stats.Estimate {
+	return m.Metric(func(r *cluster.Result) time.Duration { return r.Totals.Max() })
+}
+
+// MeanVFRelated is the cross-seed estimate of per-container VF-related
+// stage time.
+func (m *MultiResult) MeanVFRelated() stats.Estimate {
+	return m.Metric(func(r *cluster.Result) time.Duration { return r.VFRelated.Mean() })
+}
+
+// StageMean is the cross-seed estimate of one stage's per-container mean.
+func (m *MultiResult) StageMean(st telemetry.Stage) stats.Estimate {
+	return m.Metric(func(r *cluster.Result) time.Duration {
+		if s := r.Recorder.ByStage()[st]; s != nil {
+			return s.Mean()
+		}
+		return 0
+	})
+}
+
+// startups fans the given specs across the pool at every seed and returns
+// one MultiResult per spec, in input order.
+func (x *Exec) startups(specs []startupSpec) ([]*MultiResult, error) {
+	jobs := make([]harness.Job, 0, len(specs)*len(x.seeds))
+	for _, sp := range specs {
+		sp := sp
+		for _, seed := range x.seeds {
+			seed := seed
+			jobs = append(jobs, harness.Job{
+				Key:         harness.Key{Scope: "startup", Params: sp.params(), Seed: seed},
+				Fn:          func() (any, error) { return sp.run(seed) },
+				Fingerprint: fingerprintResult,
+			})
+		}
+	}
+	vals, err := x.pool.Do(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MultiResult, len(specs))
+	k := 0
+	for i := range specs {
+		m := &MultiResult{seeds: x.seeds}
+		for range x.seeds {
+			m.perSeed = append(m.perSeed, vals[k].(*cluster.Result))
+			k++
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// startup runs a single spec.
+func (x *Exec) startup(sp startupSpec) (*MultiResult, error) {
+	rs, err := x.startups([]startupSpec{sp})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// ----------------------------------------------------------------------
+// Serverless scenarios: a baseline running one SeBS app to completion.
+
+// serverlessSpec identifies one schedulable serverless completion run.
+type serverlessSpec struct {
+	Baseline        string
+	N               int
+	App             serverless.App
+	Layout          *hypervisor.Layout
+	DisableScrubber bool
+}
+
+func (s serverlessSpec) params() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b=%s n=%d app=%s", s.Baseline, s.N, s.App.Name)
+	if s.Layout != nil {
+		fmt.Fprintf(&b, " layout=%+v", *s.Layout)
+	}
+	if s.DisableScrubber {
+		b.WriteString(" noscrub")
+	}
+	return b.String()
+}
+
+func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
+	opts, err := cluster.OptionsFor(s.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	opts.Seed = seed
+	if s.Layout != nil {
+		opts.Layout = *s.Layout
+	}
+	if s.DisableScrubber {
+		opts.DisableScrubber = true
+	}
+	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	sample, err := serverlessCompletions(h, opts, s.N, s.App)
+	if err != nil {
+		return nil, err
+	}
+	sample.Sort()
+	return sample, nil
+}
+
+func fingerprintSample(v any) ([]byte, error) {
+	sample, ok := v.(*stats.Sample)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fingerprinting %T, want *stats.Sample", v)
+	}
+	var b []byte
+	for _, d := range sample.Values() {
+		b = fmt.Appendf(b, "%d\n", d)
+	}
+	return b, nil
+}
+
+// MultiSample is one serverless scenario's completion-time sample across
+// seeds.
+type MultiSample struct {
+	perSeed []*stats.Sample
+}
+
+// Primary returns the first seed's sample.
+func (m *MultiSample) Primary() *stats.Sample { return m.perSeed[0] }
+
+// Metric aggregates f over every seed's sample.
+func (m *MultiSample) Metric(f func(*stats.Sample) time.Duration) stats.Estimate {
+	return stats.EstimateMetric(m.perSeed, f)
+}
+
+// Mean is the cross-seed estimate of mean completion time.
+func (m *MultiSample) Mean() stats.Estimate {
+	return m.Metric(func(s *stats.Sample) time.Duration { return s.Mean() })
+}
+
+// P99 is the cross-seed estimate of p99 completion time.
+func (m *MultiSample) P99() stats.Estimate {
+	return m.Metric(func(s *stats.Sample) time.Duration { return s.P99() })
+}
+
+// serverlessRuns fans the specs across the pool at every seed.
+func (x *Exec) serverlessRuns(specs []serverlessSpec) ([]*MultiSample, error) {
+	jobs := make([]harness.Job, 0, len(specs)*len(x.seeds))
+	for _, sp := range specs {
+		sp := sp
+		for _, seed := range x.seeds {
+			seed := seed
+			jobs = append(jobs, harness.Job{
+				Key:         harness.Key{Scope: "serverless", Params: sp.params(), Seed: seed},
+				Fn:          func() (any, error) { return sp.run(seed) },
+				Fingerprint: fingerprintSample,
+			})
+		}
+	}
+	vals, err := x.pool.Do(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MultiSample, len(specs))
+	k := 0
+	for i := range specs {
+		m := &MultiSample{}
+		for range x.seeds {
+			m.perSeed = append(m.perSeed, vals[k].(*stats.Sample))
+			k++
+		}
+		out[i] = m
+	}
+	return out, nil
+}

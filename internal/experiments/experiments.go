@@ -3,17 +3,27 @@
 // testbed. Each runner returns a Report whose table reproduces the rows or
 // series of the original, plus free-form renderings (timelines, CDFs).
 //
+// Every runner decomposes its parameter sweep into independently
+// schedulable jobs — one deterministic sim run per (scenario, seed) — and
+// executes them through an Exec (see exec.go), which fans the runs across
+// a worker pool, sweeps each scenario over K seeds (reporting mean ± 95%
+// CI when K > 1), and memoizes results so scenarios shared across figures
+// simulate once. The package-level functions run serially at the single
+// historical seed, preserving pre-harness behaviour.
+//
 // The per-experiment index lives in DESIGN.md §4; measured-vs-paper numbers
 // are recorded in EXPERIMENTS.md.
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
 
 	"fastiov/internal/cluster"
 	"fastiov/internal/cri"
+	"fastiov/internal/harness"
 	"fastiov/internal/hypervisor"
 	"fastiov/internal/sim"
 	"fastiov/internal/stats"
@@ -50,57 +60,93 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// Encode returns a canonical byte serialization of the report: id, title,
+// the table as CSV, the free-form text, and every note. Two runs of the
+// same experiment at the same seeds must produce identical bytes — the
+// determinism-verification mode and the golden-file tests both compare
+// these encodings byte for byte.
+func (r *Report) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "id: %s\ntitle: %s\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString("table:\n")
+		b.WriteString(r.Table.CSV())
+	}
+	if r.Text != "" {
+		fmt.Fprintf(&b, "text:\n%s", r.Text)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.Bytes()
+}
+
 // breakdownStages is the Fig. 5 / Tab. 1 stage list.
 var breakdownStages = []telemetry.Stage{
 	telemetry.StageCgroup, telemetry.StageDMARAM, telemetry.StageVirtioFS,
 	telemetry.StageDMAImage, telemetry.StageVFIODev, telemetry.StageVFDriver,
 }
 
-// run executes one baseline at concurrency n with optional layout override.
-func run(name string, n int, layout *hypervisor.Layout) (*cluster.Result, error) {
-	opts, err := cluster.OptionsFor(name)
-	if err != nil {
-		return nil, err
+// pairedMetric estimates f(hi) − f(lo) seed by seed. Pairing matters: both
+// scenarios saw the same seed, so the difference's confidence interval
+// reflects the difference's own spread, not the operands' summed variance.
+func pairedMetric(lo, hi *MultiResult, f func(*cluster.Result) time.Duration) stats.Estimate {
+	vals := make([]time.Duration, len(lo.perSeed))
+	for i := range lo.perSeed {
+		vals[i] = f(hi.perSeed[i]) - f(lo.perSeed[i])
 	}
-	if layout != nil {
-		opts.Layout = *layout
+	return stats.EstimateOf(vals)
+}
+
+// pctString renders a per-seed percentage series as "12.3" or "12.3 ±0.4".
+func pctString(perSeed []float64) string {
+	mean, half, n := stats.FloatEstimateOf(perSeed)
+	if n < 2 {
+		return fmt.Sprintf("%.1f", mean)
 	}
-	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
-	if err != nil {
-		return nil, err
+	return fmt.Sprintf("%.1f ±%.1f", mean, half)
+}
+
+// seedNote appends a rendering-provenance note when sweeping several seeds.
+func seedNote(rep *Report, x *Exec, what string) {
+	if len(x.seeds) > 1 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"%s rendered from seed %d; scalar columns aggregate %d seeds (mean ±95%% CI)",
+			what, x.seeds[0], len(x.seeds)))
 	}
-	res := h.StartupExperiment(n)
-	if res.Err != nil {
-		return nil, fmt.Errorf("%s: %w", name, res.Err)
-	}
-	return res, nil
 }
 
 // Fig1 reproduces Figure 1: the overhead of enabling SR-IOV on average
 // startup time as concurrency grows from 10 to 200.
-func Fig1(concurrencies []int) (*Report, error) {
+func Fig1(concurrencies []int) (*Report, error) { return defaultExec().Fig1(concurrencies) }
+
+// Fig1 on an executor. See the package-level wrapper.
+func (x *Exec) Fig1(concurrencies []int) (*Report, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = []int{10, 50, 100, 150, 200}
 	}
+	var specs []startupSpec
+	for _, c := range concurrencies {
+		specs = append(specs,
+			startupSpec{Baseline: cluster.BaselineNoNet, N: c},
+			startupSpec{Baseline: cluster.BaselineVanilla, N: c})
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("concurrency", "no-net avg", "sriov avg", "overhead", "overhead %")
 	rep := &Report{ID: "fig1", Title: "Overhead of enabling SR-IOV on secure container startup", Table: t}
-	for _, c := range concurrencies {
-		non, err := run(cluster.BaselineNoNet, c, nil)
-		if err != nil {
-			return nil, err
-		}
-		van, err := run(cluster.BaselineVanilla, c, nil)
-		if err != nil {
-			return nil, err
-		}
-		overhead := van.Totals.Mean() - non.Totals.Mean()
-		t.AddRow(c, non.Totals.Mean(), van.Totals.Mean(), overhead,
-			100*stats.OverheadRatio(non.Totals.Mean(), van.Totals.Mean()))
+	for i, c := range concurrencies {
+		non, van := rs[2*i], rs[2*i+1]
+		overhead := pairedMetric(non, van, func(r *cluster.Result) time.Duration { return r.Totals.Mean() })
+		t.AddRow(c, non.MeanTotal(), van.MeanTotal(), overhead,
+			100*stats.OverheadRatio(non.MeanTotal().Mean, van.MeanTotal().Mean))
 		if c == DefaultConcurrency {
 			rep.Notes = append(rep.Notes, fmt.Sprintf(
 				"at c=200 enabling SR-IOV adds %v (+%.0f%%); paper: +12.2s (+305%%)",
-				overhead.Round(10*time.Millisecond),
-				100*stats.OverheadRatio(non.Totals.Mean(), van.Totals.Mean())))
+				overhead.Mean.Round(10*time.Millisecond),
+				100*stats.OverheadRatio(non.MeanTotal().Mean, van.MeanTotal().Mean)))
 		}
 	}
 	return rep, nil
@@ -108,65 +154,90 @@ func Fig1(concurrencies []int) (*Report, error) {
 
 // Fig5 reproduces Figure 5: the per-container timeline breakdown of a
 // 200-container vanilla startup, rendered as an ASCII Gantt chart.
-func Fig5(n int) (*Report, error) {
-	res, err := run(cluster.BaselineVanilla, n, nil)
+func Fig5(n int) (*Report, error) { return defaultExec().Fig5(n) }
+
+// Fig5 on an executor.
+func (x *Exec) Fig5(n int) (*Report, error) {
+	res, err := x.startup(startupSpec{Baseline: cluster.BaselineVanilla, N: n})
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	rep := &Report{
 		ID:    "fig5",
 		Title: fmt.Sprintf("Breakdown of time-consuming steps (%d concurrent containers)", n),
-		Text:  res.Recorder.Timeline(100, 25),
-	}, nil
+		Text:  res.Primary().Recorder.Timeline(100, 25),
+	}
+	seedNote(rep, x, "timeline")
+	return rep, nil
 }
 
 // Table1 reproduces Table 1: per-stage proportions of the average and the
 // 99th-percentile startup time under vanilla SR-IOV.
-func Table1(n int) (*Report, error) {
-	res, err := run(cluster.BaselineVanilla, n, nil)
+func Table1(n int) (*Report, error) { return defaultExec().Table1(n) }
+
+// Table1 on an executor.
+func (x *Exec) Table1(n int) (*Report, error) {
+	res, err := x.startup(startupSpec{Baseline: cluster.BaselineVanilla, N: n})
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
 		ID:    "tab1",
 		Title: "Time proportions of time-consuming steps (vanilla)",
-		Table: res.Recorder.BreakdownTable(breakdownStages),
+		Table: res.Primary().Recorder.BreakdownTable(breakdownStages),
 	}
-	var vfAvg float64
-	for _, row := range res.Recorder.Breakdown(breakdownStages) {
-		if row.Stage.VFRelated() {
-			vfAvg += row.PropAvg
+	vfShares := make([]float64, 0, len(res.perSeed))
+	for _, r := range res.perSeed {
+		var vfAvg float64
+		for _, row := range r.Recorder.Breakdown(breakdownStages) {
+			if row.Stage.VFRelated() {
+				vfAvg += row.PropAvg
+			}
 		}
+		vfShares = append(vfShares, vfAvg)
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
-		"VF-related steps account for %.1f%% of average startup; paper: 70.1%%", vfAvg))
+		"VF-related steps account for %s%% of average startup; paper: 70.1%%", pctString(vfShares)))
+	seedNote(rep, x, "breakdown table")
 	return rep, nil
 }
 
 // Fig11 reproduces Figure 11: average startup time for every baseline at
 // c=200, split into VF-related and other time.
-func Fig11(n int) (*Report, error) {
+func Fig11(n int) (*Report, error) { return defaultExec().Fig11(n) }
+
+// Fig11 on an executor.
+func (x *Exec) Fig11(n int) (*Report, error) {
+	names := cluster.Baselines()
+	specs := make([]startupSpec, len(names))
+	for i, name := range names {
+		specs[i] = startupSpec{Baseline: name, N: n}
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("baseline", "avg total", "VF-related", "others", "reduction vs vanilla %")
 	rep := &Report{ID: "fig11", Title: fmt.Sprintf("Average startup time, concurrency=%d", n), Table: t}
 	var vanilla, fastiov, vanVF, fioVF time.Duration
-	for _, name := range cluster.Baselines() {
-		res, err := run(name, n, nil)
-		if err != nil {
-			return nil, err
-		}
-		mean := res.Totals.Mean()
-		vf := res.VFRelated.Mean()
+	for i, name := range names {
+		res := rs[i]
+		mean := res.MeanTotal()
+		vf := res.MeanVFRelated()
+		others := stats.EstimateMetric(res.perSeed, func(r *cluster.Result) time.Duration {
+			return r.Totals.Mean() - r.VFRelated.Mean()
+		})
 		if name == cluster.BaselineVanilla {
-			vanilla, vanVF = mean, vf
+			vanilla, vanVF = mean.Mean, vf.Mean
 		}
 		if name == cluster.BaselineFastIOV {
-			fastiov, fioVF = mean, vf
+			fastiov, fioVF = mean.Mean, vf.Mean
 		}
 		red := 0.0
 		if vanilla > 0 {
-			red = 100 * stats.ReductionRatio(vanilla, mean)
+			red = 100 * stats.ReductionRatio(vanilla, mean.Mean)
 		}
-		t.AddRow(name, mean, vf, mean-vf, red)
+		t.AddRow(name, mean, vf, others, red)
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("FastIOV reduces average startup by %.1f%%; paper: 65.7%%",
@@ -178,57 +249,72 @@ func Fig11(n int) (*Report, error) {
 
 // Fig12 reproduces Figure 12: the startup-time CDF at c=200 for No-Net,
 // FastIOV, Pre100, and Vanilla.
-func Fig12(n int) (*Report, error) {
+func Fig12(n int) (*Report, error) { return defaultExec().Fig12(n) }
+
+// Fig12 on an executor.
+func (x *Exec) Fig12(n int) (*Report, error) {
 	names := []string{cluster.BaselineNoNet, cluster.BaselineFastIOV, cluster.BaselinePre100, cluster.BaselineVanilla}
+	specs := make([]startupSpec, len(names))
+	for i, name := range names {
+		specs[i] = startupSpec{Baseline: name, N: n}
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("baseline", "p10", "p50", "p90", "p99", "max")
 	rep := &Report{ID: "fig12", Title: fmt.Sprintf("Startup time distribution, concurrency=%d", n), Table: t}
 	var text strings.Builder
 	var vanP99, fioP99 time.Duration
-	for _, name := range names {
-		res, err := run(name, n, nil)
-		if err != nil {
-			return nil, err
-		}
-		s := res.Totals
-		t.AddRow(name, s.Percentile(10), s.P50(), s.Percentile(90), s.P99(), s.Max())
+	for i, name := range names {
+		res := rs[i]
+		t.AddRow(name, res.TotalPercentile(10), res.TotalPercentile(50), res.TotalPercentile(90),
+			res.TotalPercentile(99), res.MaxTotal())
 		fmt.Fprintf(&text, "%s CDF: ", name)
-		for _, pt := range s.CDF(10) {
+		for _, pt := range res.Primary().Totals.CDF(10) {
 			fmt.Fprintf(&text, "(%.2f,%v) ", pt.Frac, pt.Value.Round(10*time.Millisecond))
 		}
 		text.WriteByte('\n')
 		if name == cluster.BaselineVanilla {
-			vanP99 = s.P99()
+			vanP99 = res.TotalPercentile(99).Mean
 		}
 		if name == cluster.BaselineFastIOV {
-			fioP99 = s.P99()
+			fioP99 = res.TotalPercentile(99).Mean
 		}
 	}
 	rep.Text = text.String()
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"FastIOV reduces p99 startup by %.1f%%; paper: 75.4%%",
 		100*stats.ReductionRatio(vanP99, fioP99)))
+	seedNote(rep, x, "CDF")
 	return rep, nil
 }
 
 // Fig13a reproduces Figure 13a: vanilla vs FastIOV startup distribution as
 // concurrency grows, 512 MB per container.
-func Fig13a(concurrencies []int) (*Report, error) {
+func Fig13a(concurrencies []int) (*Report, error) { return defaultExec().Fig13a(concurrencies) }
+
+// Fig13a on an executor.
+func (x *Exec) Fig13a(concurrencies []int) (*Report, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = []int{10, 50, 100, 200}
 	}
+	var specs []startupSpec
+	for _, c := range concurrencies {
+		specs = append(specs,
+			startupSpec{Baseline: cluster.BaselineVanilla, N: c},
+			startupSpec{Baseline: cluster.BaselineFastIOV, N: c})
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("concurrency", "vanilla avg", "vanilla p99", "fastiov avg", "fastiov p99", "reduction %")
 	rep := &Report{ID: "fig13a", Title: "Impact of concurrency (512 MB per container)", Table: t}
-	for _, c := range concurrencies {
-		van, err := run(cluster.BaselineVanilla, c, nil)
-		if err != nil {
-			return nil, err
-		}
-		fio, err := run(cluster.BaselineFastIOV, c, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c, van.Totals.Mean(), van.Totals.P99(), fio.Totals.Mean(), fio.Totals.P99(),
-			100*stats.ReductionRatio(van.Totals.Mean(), fio.Totals.Mean()))
+	for i, c := range concurrencies {
+		van, fio := rs[2*i], rs[2*i+1]
+		t.AddRow(c, van.MeanTotal(), van.TotalPercentile(99), fio.MeanTotal(), fio.TotalPercentile(99),
+			100*stats.ReductionRatio(van.MeanTotal().Mean, fio.MeanTotal().Mean))
 	}
 	rep.Notes = append(rep.Notes, "paper: reductions range 46.7%-65.6%, growing with concurrency")
 	return rep, nil
@@ -244,32 +330,40 @@ func layoutWithRAM(ram int64) hypervisor.Layout {
 // Fig13b reproduces Figure 13b: vanilla vs FastIOV as per-container memory
 // grows from 512 MB to 2 GB at concurrency 50.
 func Fig13b(memories []int64, concurrency int) (*Report, error) {
+	return defaultExec().Fig13b(memories, concurrency)
+}
+
+// Fig13b on an executor.
+func (x *Exec) Fig13b(memories []int64, concurrency int) (*Report, error) {
 	if len(memories) == 0 {
 		memories = []int64{512 << 20, 1 << 30, 2 << 30}
 	}
 	if concurrency <= 0 {
 		concurrency = 50
 	}
+	var specs []startupSpec
+	for _, ram := range memories {
+		l := layoutWithRAM(ram)
+		specs = append(specs,
+			startupSpec{Baseline: cluster.BaselineVanilla, N: concurrency, Layout: &l},
+			startupSpec{Baseline: cluster.BaselineFastIOV, N: concurrency, Layout: &l})
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("memory/ctr", "vanilla avg", "fastiov avg", "reduction %")
 	rep := &Report{ID: "fig13b", Title: fmt.Sprintf("Impact of memory allocation (concurrency=%d)", concurrency), Table: t}
 	var first, last [2]time.Duration
 	for i, ram := range memories {
-		l := layoutWithRAM(ram)
-		van, err := run(cluster.BaselineVanilla, concurrency, &l)
-		if err != nil {
-			return nil, err
-		}
-		fio, err := run(cluster.BaselineFastIOV, concurrency, &l)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%dMB", ram>>20), van.Totals.Mean(), fio.Totals.Mean(),
-			100*stats.ReductionRatio(van.Totals.Mean(), fio.Totals.Mean()))
+		van, fio := rs[2*i], rs[2*i+1]
+		t.AddRow(fmt.Sprintf("%dMB", ram>>20), van.MeanTotal(), fio.MeanTotal(),
+			100*stats.ReductionRatio(van.MeanTotal().Mean, fio.MeanTotal().Mean))
 		if i == 0 {
-			first = [2]time.Duration{van.Totals.Mean(), fio.Totals.Mean()}
+			first = [2]time.Duration{van.MeanTotal().Mean, fio.MeanTotal().Mean}
 		}
 		if i == len(memories)-1 {
-			last = [2]time.Duration{van.Totals.Mean(), fio.Totals.Mean()}
+			last = [2]time.Duration{van.MeanTotal().Mean, fio.MeanTotal().Mean}
 		}
 	}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
@@ -280,36 +374,48 @@ func Fig13b(memories []int64, concurrency int) (*Report, error) {
 	return rep, nil
 }
 
+// fullyLoadedLayout divides 80% of host memory evenly among c containers,
+// rounded down to 512 MB units (the Fig. 13c / Fig. 16i-l geometry).
+func fullyLoadedLayout(spec cluster.HostSpec, c int) hypervisor.Layout {
+	perCtr := spec.Memory.TotalBytes * 8 / 10 / int64(c)
+	l := hypervisor.DefaultLayout()
+	unit := int64(512 << 20)
+	ram := (perCtr - l.ImageBytes - l.FirmwareBytes) / unit * unit
+	if ram < unit {
+		ram = unit
+	}
+	l.RAMBytes = ram
+	return l
+}
+
 // Fig13c reproduces Figure 13c: the fully-loaded server — host memory is
 // divided evenly among the concurrent containers.
-func Fig13c(concurrencies []int) (*Report, error) {
+func Fig13c(concurrencies []int) (*Report, error) { return defaultExec().Fig13c(concurrencies) }
+
+// Fig13c on an executor.
+func (x *Exec) Fig13c(concurrencies []int) (*Report, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = []int{10, 50, 100, 200}
 	}
 	spec := cluster.DefaultHostSpec()
+	var specs []startupSpec
+	layouts := make([]hypervisor.Layout, len(concurrencies))
+	for i, c := range concurrencies {
+		layouts[i] = fullyLoadedLayout(spec, c)
+		specs = append(specs,
+			startupSpec{Baseline: cluster.BaselineVanilla, N: c, Layout: &layouts[i]},
+			startupSpec{Baseline: cluster.BaselineFastIOV, N: c, Layout: &layouts[i]})
+	}
+	rs, err := x.startups(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("concurrency", "memory/ctr", "vanilla avg", "fastiov avg", "reduction %")
 	rep := &Report{ID: "fig13c", Title: "Fully loaded server (resources evenly divided)", Table: t}
-	for _, c := range concurrencies {
-		// Reserve 20% of host memory for the host itself and the image and
-		// firmware regions; the rest is guest RAM.
-		perCtr := spec.Memory.TotalBytes * 8 / 10 / int64(c)
-		l := hypervisor.DefaultLayout()
-		unit := int64(512 << 20)
-		ram := (perCtr - l.ImageBytes - l.FirmwareBytes) / unit * unit
-		if ram < unit {
-			ram = unit
-		}
-		l.RAMBytes = ram
-		van, err := run(cluster.BaselineVanilla, c, &l)
-		if err != nil {
-			return nil, err
-		}
-		fio, err := run(cluster.BaselineFastIOV, c, &l)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c, fmt.Sprintf("%dMB", l.RAMBytes>>20), van.Totals.Mean(), fio.Totals.Mean(),
-			100*stats.ReductionRatio(van.Totals.Mean(), fio.Totals.Mean()))
+	for i, c := range concurrencies {
+		van, fio := rs[2*i], rs[2*i+1]
+		t.AddRow(c, fmt.Sprintf("%dMB", layouts[i].RAMBytes>>20), van.MeanTotal(), fio.MeanTotal(),
+			100*stats.ReductionRatio(van.MeanTotal().Mean, fio.MeanTotal().Mean))
 	}
 	rep.Notes = append(rep.Notes, "paper: reduction grows from 65.7% at c=200 to 79.5% at c=10")
 	return rep, nil
@@ -317,98 +423,122 @@ func Fig13c(concurrencies []int) (*Report, error) {
 
 // Fig14 reproduces Figure 14: FastIOV vs the IPvtap software CNI, with the
 // software CNI's bottleneck stages broken out.
-func Fig14(n int) (*Report, error) {
-	ipv, err := run(cluster.BaselineIPvtap, n, nil)
+func Fig14(n int) (*Report, error) { return defaultExec().Fig14(n) }
+
+// Fig14 on an executor.
+func (x *Exec) Fig14(n int) (*Report, error) {
+	rs, err := x.startups([]startupSpec{
+		{Baseline: cluster.BaselineIPvtap, N: n},
+		{Baseline: cluster.BaselineFastIOV, N: n},
+	})
 	if err != nil {
 		return nil, err
 	}
-	fio, err := run(cluster.BaselineFastIOV, n, nil)
-	if err != nil {
-		return nil, err
-	}
+	ipv, fio := rs[0], rs[1]
 	t := stats.NewTable("metric", "ipvtap", "fastiov")
-	addCNI := ipv.Recorder.ByStage()[telemetry.StageAddCNI]
-	cgroupI := ipv.Recorder.ByStage()[telemetry.StageCgroup]
-	cgroupF := fio.Recorder.ByStage()[telemetry.StageCgroup]
-	var addCNIMean, cgroupIMean, cgroupFMean time.Duration
-	if addCNI != nil {
-		addCNIMean = addCNI.Mean()
-	}
-	if cgroupI != nil {
-		cgroupIMean = cgroupI.Mean()
-	}
-	if cgroupF != nil {
-		cgroupFMean = cgroupF.Mean()
-	}
-	t.AddRow("avg total", ipv.Totals.Mean(), fio.Totals.Mean())
-	t.AddRow("p99 total", ipv.Totals.P99(), fio.Totals.P99())
-	t.AddRow("addCNI stage", addCNIMean, time.Duration(0))
-	t.AddRow("cgroup stage", cgroupIMean, cgroupFMean)
+	t.AddRow("avg total", ipv.MeanTotal(), fio.MeanTotal())
+	t.AddRow("p99 total", ipv.TotalPercentile(99), fio.TotalPercentile(99))
+	t.AddRow("addCNI stage", ipv.StageMean(telemetry.StageAddCNI), fio.StageMean(telemetry.StageAddCNI))
+	t.AddRow("cgroup stage", ipv.StageMean(telemetry.StageCgroup), fio.StageMean(telemetry.StageCgroup))
 	rep := &Report{ID: "fig14", Title: fmt.Sprintf("Comparison with software CNI (concurrency=%d)", n), Table: t}
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"FastIOV average is %.1f%% lower than IPvtap; paper: 31.8%%",
-		100*stats.ReductionRatio(ipv.Totals.Mean(), fio.Totals.Mean())))
+		100*stats.ReductionRatio(ipv.MeanTotal().Mean, fio.MeanTotal().Mean)))
 	return rep, nil
 }
 
-// MemPerf reproduces §6.5: the impact of FastIOV's EPT-fault interception
-// on in-guest memory performance, tinymembench-style. The guest repeatedly
-// copies 2048-byte blocks over a working set; interception costs apply only
-// to each page's first touch.
-func MemPerf() (*Report, error) {
-	type outcome struct {
-		faults  int
-		elapsed time.Duration
+// memPerfOutcome is one §6.5 measurement: EPT faults taken and the elapsed
+// time of the 10-pass tinymembench-style copy loop.
+type memPerfOutcome struct {
+	Faults  int
+	Elapsed time.Duration
+}
+
+// memPerfRun boots the named baseline, starts one container, and runs the
+// in-guest memory workload.
+func memPerfRun(baseline string, seed uint64) (*memPerfOutcome, error) {
+	opts, err := cluster.OptionsFor(baseline)
+	if err != nil {
+		return nil, err
 	}
-	measure := func(baseline string) (outcome, error) {
-		opts, err := cluster.OptionsFor(baseline)
-		if err != nil {
-			return outcome{}, err
-		}
-		h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
-		if err != nil {
-			return outcome{}, err
-		}
-		var out outcome
+	opts.Seed = seed
+	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &memPerfOutcome{}
+	var runErr error
+	h.K.Go("bench", func(p *sim.Proc) {
 		var sb *cri.Sandbox
-		h.K.Go("bench", func(p *sim.Proc) {
-			sb, err = h.Eng.RunPodSandbox(p, 0)
-			if err != nil {
+		sb, runErr = h.Eng.RunPodSandbox(p, 0)
+		if runErr != nil {
+			return
+		}
+		vm := sb.MVM.VM
+		start := p.Now()
+		// memcpy pass over a 256 MB working set, then 9 re-passes that
+		// hit the EPT. Each pass touches every page (reads+writes).
+		ws := int64(256 << 20)
+		for pass := 0; pass < 10; pass++ {
+			if terr := vm.TouchRange(p, 0, ws, pass%2 == 1); terr != nil {
+				runErr = terr
 				return
 			}
-			vm := sb.MVM.VM
-			start := p.Now()
-			// memcpy pass over a 256 MB working set, then 9 re-passes that
-			// hit the EPT. Each pass touches every page (reads+writes).
-			ws := int64(256 << 20)
-			for pass := 0; pass < 10; pass++ {
-				if terr := vm.TouchRange(p, 0, ws, pass%2 == 1); terr != nil {
-					err = terr
-					return
-				}
-			}
-			out.elapsed = p.Now() - start
-			out.faults = vm.Faults
-		})
-		h.K.Run()
-		if err != nil {
-			return outcome{}, err
 		}
-		return out, nil
+		out.Elapsed = p.Now() - start
+		out.Faults = vm.Faults
+	})
+	h.K.Run()
+	if runErr != nil {
+		return nil, runErr
 	}
-	van, err := measure(cluster.BaselineVanilla)
+	return out, nil
+}
+
+// MemPerf reproduces §6.5: the impact of FastIOV's EPT-fault interception
+// on in-guest memory performance, tinymembench-style.
+func MemPerf() (*Report, error) { return defaultExec().MemPerf() }
+
+// MemPerf on an executor.
+func (x *Exec) MemPerf() (*Report, error) {
+	baselines := []string{cluster.BaselineVanilla, cluster.BaselineFastIOV}
+	jobs := make([]harness.Job, 0, len(baselines)*len(x.seeds))
+	for _, name := range baselines {
+		name := name
+		for _, seed := range x.seeds {
+			seed := seed
+			jobs = append(jobs, harness.Job{
+				Key: harness.Key{Scope: "memperf", Params: "b=" + name, Seed: seed},
+				Fn:  func() (any, error) { return memPerfRun(name, seed) },
+				Fingerprint: func(v any) ([]byte, error) {
+					o := v.(*memPerfOutcome)
+					return fmt.Appendf(nil, "faults=%d elapsed=%d", o.Faults, o.Elapsed), nil
+				},
+			})
+		}
+	}
+	vals, err := x.pool.Do(jobs)
 	if err != nil {
 		return nil, err
 	}
-	fio, err := measure(cluster.BaselineFastIOV)
-	if err != nil {
-		return nil, err
+	perBaseline := make([][]*memPerfOutcome, len(baselines))
+	k := 0
+	for i := range baselines {
+		for range x.seeds {
+			perBaseline[i] = append(perBaseline[i], vals[k].(*memPerfOutcome))
+			k++
+		}
 	}
 	t := stats.NewTable("config", "EPT faults", "10-pass time", "per-pass")
-	t.AddRow("vanilla", van.faults, van.elapsed, van.elapsed/10)
-	t.AddRow("fastiov", fio.faults, fio.elapsed, fio.elapsed/10)
+	for i, name := range baselines {
+		elapsed := stats.EstimateMetric(perBaseline[i], func(o *memPerfOutcome) time.Duration { return o.Elapsed })
+		perPass := stats.EstimateMetric(perBaseline[i], func(o *memPerfOutcome) time.Duration { return o.Elapsed / 10 })
+		t.AddRow(name, perBaseline[i][0].Faults, elapsed, perPass)
+	}
 	rep := &Report{ID: "sec6.5", Title: "Impact on memory access performance (tinymembench-style)", Table: t}
-	degr := 100 * (float64(fio.elapsed)/float64(van.elapsed) - 1)
+	van := stats.EstimateMetric(perBaseline[0], func(o *memPerfOutcome) time.Duration { return o.Elapsed })
+	fio := stats.EstimateMetric(perBaseline[1], func(o *memPerfOutcome) time.Duration { return o.Elapsed })
+	degr := 100 * (float64(fio.Mean)/float64(van.Mean) - 1)
 	rep.Notes = append(rep.Notes, fmt.Sprintf(
 		"FastIOV memory-path degradation: %.2f%%; paper: within 1%%", degr))
 	return rep, nil

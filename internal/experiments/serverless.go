@@ -5,32 +5,14 @@ import (
 	"time"
 
 	"fastiov/internal/cluster"
-	"fastiov/internal/hypervisor"
 	"fastiov/internal/serverless"
 	"fastiov/internal/sim"
 	"fastiov/internal/stats"
 )
 
-// runServerless starts n containers under the named baseline and runs app
-// to completion in each, returning the task-completion-time sample (the
-// duration from startup-command issuance to computation finish, §6.6).
-func runServerless(baseline string, n int, app serverless.App, layout *hypervisor.Layout) (*stats.Sample, error) {
-	opts, err := cluster.OptionsFor(baseline)
-	if err != nil {
-		return nil, err
-	}
-	if layout != nil {
-		opts.Layout = *layout
-	}
-	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
-	if err != nil {
-		return nil, err
-	}
-	return serverlessCompletions(h, opts, n, app)
-}
-
 // serverlessCompletions launches n tasks of app on a prepared host and
-// collects their completion times.
+// collects their completion times (the duration from startup-command
+// issuance to computation finish, §6.6).
 func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app serverless.App) (*stats.Sample, error) {
 	completions := make([]time.Duration, n)
 	var firstErr error
@@ -66,23 +48,48 @@ func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app ser
 	return stats.FromDurations(completions), nil
 }
 
+// runServerless runs one serverless scenario directly (no pool, no cache),
+// returning the raw completion sample — retained for tests that need direct
+// access rather than a rendered report.
+func runServerless(baseline string, n int, app serverless.App, mutate func(*cluster.Options)) (*stats.Sample, error) {
+	opts, err := cluster.OptionsFor(baseline)
+	if err != nil {
+		return nil, err
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return serverlessCompletions(h, opts, n, app)
+}
+
 // Fig15 reproduces Figure 15: task-completion-time distribution for the
 // four SeBS applications at c=200, vanilla vs FastIOV.
-func Fig15(n int) (*Report, error) {
+func Fig15(n int) (*Report, error) { return defaultExec().Fig15(n) }
+
+// Fig15 on an executor.
+func (x *Exec) Fig15(n int) (*Report, error) {
+	apps := serverless.Apps()
+	var specs []serverlessSpec
+	for _, app := range apps {
+		specs = append(specs,
+			serverlessSpec{Baseline: cluster.BaselineVanilla, N: n, App: app},
+			serverlessSpec{Baseline: cluster.BaselineFastIOV, N: n, App: app})
+	}
+	rs, err := x.serverlessRuns(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("app", "vanilla avg", "vanilla p99", "fastiov avg", "fastiov p99", "avg red. %", "p99 red. %")
 	rep := &Report{ID: "fig15", Title: fmt.Sprintf("Serverless application performance (concurrency=%d)", n), Table: t}
 	var minRed, maxRed float64 = 101, -1
-	for _, app := range serverless.Apps() {
-		van, err := runServerless(cluster.BaselineVanilla, n, app, nil)
-		if err != nil {
-			return nil, err
-		}
-		fio, err := runServerless(cluster.BaselineFastIOV, n, app, nil)
-		if err != nil {
-			return nil, err
-		}
-		avgRed := 100 * stats.ReductionRatio(van.Mean(), fio.Mean())
-		p99Red := 100 * stats.ReductionRatio(van.P99(), fio.P99())
+	for i, app := range apps {
+		van, fio := rs[2*i], rs[2*i+1]
+		avgRed := 100 * stats.ReductionRatio(van.Mean().Mean, fio.Mean().Mean)
+		p99Red := 100 * stats.ReductionRatio(van.P99().Mean, fio.P99().Mean)
 		t.AddRow(app.Name, van.Mean(), van.P99(), fio.Mean(), fio.P99(), avgRed, p99Red)
 		if avgRed < minRed {
 			minRed = avgRed
@@ -100,23 +107,36 @@ func Fig15(n int) (*Report, error) {
 // Fig16Concurrency reproduces Fig. 16a-d: per-app average task completion
 // and reduction ratio across concurrency levels.
 func Fig16Concurrency(concurrencies []int) (*Report, error) {
+	return defaultExec().Fig16Concurrency(concurrencies)
+}
+
+// Fig16Concurrency on an executor.
+func (x *Exec) Fig16Concurrency(concurrencies []int) (*Report, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = []int{10, 50, 100, 200}
 	}
+	apps := serverless.Apps()
+	var specs []serverlessSpec
+	for _, app := range apps {
+		for _, c := range concurrencies {
+			specs = append(specs,
+				serverlessSpec{Baseline: cluster.BaselineVanilla, N: c, App: app},
+				serverlessSpec{Baseline: cluster.BaselineFastIOV, N: c, App: app})
+		}
+	}
+	rs, err := x.serverlessRuns(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("app", "concurrency", "vanilla avg", "fastiov avg", "R-ratio %")
 	rep := &Report{ID: "fig16a-d", Title: "Serverless apps: varying concurrency", Table: t}
-	for _, app := range serverless.Apps() {
+	k := 0
+	for _, app := range apps {
 		for _, c := range concurrencies {
-			van, err := runServerless(cluster.BaselineVanilla, c, app, nil)
-			if err != nil {
-				return nil, err
-			}
-			fio, err := runServerless(cluster.BaselineFastIOV, c, app, nil)
-			if err != nil {
-				return nil, err
-			}
+			van, fio := rs[k], rs[k+1]
+			k += 2
 			t.AddRow(app.Name, c, van.Mean(), fio.Mean(),
-				100*stats.ReductionRatio(van.Mean(), fio.Mean()))
+				100*stats.ReductionRatio(van.Mean().Mean, fio.Mean().Mean))
 		}
 	}
 	rep.Notes = append(rep.Notes, "paper: higher gain at higher concurrency (Fig. 16a-d)")
@@ -126,27 +146,40 @@ func Fig16Concurrency(concurrencies []int) (*Report, error) {
 // Fig16Memory reproduces Fig. 16e-h: per-app completion across memory
 // allocations at fixed concurrency.
 func Fig16Memory(memories []int64, concurrency int) (*Report, error) {
+	return defaultExec().Fig16Memory(memories, concurrency)
+}
+
+// Fig16Memory on an executor.
+func (x *Exec) Fig16Memory(memories []int64, concurrency int) (*Report, error) {
 	if len(memories) == 0 {
 		memories = []int64{512 << 20, 1 << 30, 2 << 30}
 	}
 	if concurrency <= 0 {
 		concurrency = 50
 	}
-	t := stats.NewTable("app", "memory/ctr", "vanilla avg", "fastiov avg", "R-ratio %")
-	rep := &Report{ID: "fig16e-h", Title: fmt.Sprintf("Serverless apps: varying memory (concurrency=%d)", concurrency), Table: t}
-	for _, app := range serverless.Apps() {
+	apps := serverless.Apps()
+	var specs []serverlessSpec
+	for _, app := range apps {
 		for _, ram := range memories {
 			l := layoutWithRAM(ram)
-			van, err := runServerless(cluster.BaselineVanilla, concurrency, app, &l)
-			if err != nil {
-				return nil, err
-			}
-			fio, err := runServerless(cluster.BaselineFastIOV, concurrency, app, &l)
-			if err != nil {
-				return nil, err
-			}
+			specs = append(specs,
+				serverlessSpec{Baseline: cluster.BaselineVanilla, N: concurrency, App: app, Layout: &l},
+				serverlessSpec{Baseline: cluster.BaselineFastIOV, N: concurrency, App: app, Layout: &l})
+		}
+	}
+	rs, err := x.serverlessRuns(specs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("app", "memory/ctr", "vanilla avg", "fastiov avg", "R-ratio %")
+	rep := &Report{ID: "fig16e-h", Title: fmt.Sprintf("Serverless apps: varying memory (concurrency=%d)", concurrency), Table: t}
+	k := 0
+	for _, app := range apps {
+		for _, ram := range memories {
+			van, fio := rs[k], rs[k+1]
+			k += 2
 			t.AddRow(app.Name, fmt.Sprintf("%dMB", ram>>20), van.Mean(), fio.Mean(),
-				100*stats.ReductionRatio(van.Mean(), fio.Mean()))
+				100*stats.ReductionRatio(van.Mean().Mean, fio.Mean().Mean))
 		}
 	}
 	rep.Notes = append(rep.Notes, "paper: higher gain with larger allocations; FastIOV completion flat or decreasing (Fig. 16e-h)")
@@ -156,32 +189,40 @@ func Fig16Memory(memories []int64, concurrency int) (*Report, error) {
 // Fig16FullyLoaded reproduces Fig. 16i-l: per-app completion on a fully
 // loaded server (memory divided evenly among containers).
 func Fig16FullyLoaded(concurrencies []int) (*Report, error) {
+	return defaultExec().Fig16FullyLoaded(concurrencies)
+}
+
+// Fig16FullyLoaded on an executor.
+func (x *Exec) Fig16FullyLoaded(concurrencies []int) (*Report, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = []int{10, 50, 100, 200}
 	}
 	spec := cluster.DefaultHostSpec()
+	apps := serverless.Apps()
+	var specs []serverlessSpec
+	ramByConc := make(map[int]int64)
+	for _, app := range apps {
+		for _, c := range concurrencies {
+			l := fullyLoadedLayout(spec, c)
+			ramByConc[c] = l.RAMBytes
+			specs = append(specs,
+				serverlessSpec{Baseline: cluster.BaselineVanilla, N: c, App: app, Layout: &l},
+				serverlessSpec{Baseline: cluster.BaselineFastIOV, N: c, App: app, Layout: &l})
+		}
+	}
+	rs, err := x.serverlessRuns(specs)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("app", "concurrency", "memory/ctr", "vanilla avg", "fastiov avg", "R-ratio %")
 	rep := &Report{ID: "fig16i-l", Title: "Serverless apps: fully loaded server", Table: t}
-	for _, app := range serverless.Apps() {
+	k := 0
+	for _, app := range apps {
 		for _, c := range concurrencies {
-			perCtr := spec.Memory.TotalBytes * 8 / 10 / int64(c)
-			l := hypervisor.DefaultLayout()
-			unit := int64(512 << 20)
-			ram := (perCtr - l.ImageBytes - l.FirmwareBytes) / unit * unit
-			if ram < unit {
-				ram = unit
-			}
-			l.RAMBytes = ram
-			van, err := runServerless(cluster.BaselineVanilla, c, app, &l)
-			if err != nil {
-				return nil, err
-			}
-			fio, err := runServerless(cluster.BaselineFastIOV, c, app, &l)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(app.Name, c, fmt.Sprintf("%dMB", l.RAMBytes>>20), van.Mean(), fio.Mean(),
-				100*stats.ReductionRatio(van.Mean(), fio.Mean()))
+			van, fio := rs[k], rs[k+1]
+			k += 2
+			t.AddRow(app.Name, c, fmt.Sprintf("%dMB", ramByConc[c]>>20), van.Mean(), fio.Mean(),
+				100*stats.ReductionRatio(van.Mean().Mean, fio.Mean().Mean))
 		}
 	}
 	rep.Notes = append(rep.Notes, "paper: clear reduction at all settings, most pronounced at low concurrency (Fig. 16i-l)")

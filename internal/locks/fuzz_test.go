@@ -1,0 +1,153 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// FuzzParentChildExclusion drives randomized schedules of child and global
+// acquisitions across concurrent workers and checks the framework's two
+// exclusion guarantees with atomic in-critical-section flags:
+//
+//   - no double grant: a child lock is never held by two goroutines at
+//     once (its flag transitions strictly 0 -> 1 -> 0);
+//   - parent-child exclusion: while the global lock is held, no child is
+//     inside its critical section.
+//
+// The harness also proves absence of lost wakeups operationally: every
+// scripted acquisition must eventually be granted, so a dropped wakeup
+// shows up as a test-binary timeout.
+//
+// Byte i of the input is worker i%workers' next op.
+func FuzzParentChildExclusion(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte("global-vs-child"))
+	f.Add([]byte{0x00, 0x81, 0x42, 0xC3, 0x24, 0xA5, 0x66, 0xE7})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1, 0, 255, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const (
+			workers  = 4
+			children = 3
+		)
+		if len(script) > 2048 {
+			script = script[:2048]
+		}
+		var pc ParentChild
+		locks := make([]*Child, children)
+		inCrit := make([]atomic.Int32, children)
+		for i := range locks {
+			locks[i] = pc.NewChild()
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			var ops []byte
+			for i := w; i < len(script); i += workers {
+				ops = append(ops, script[i])
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, op := range ops {
+					i := int(op>>2) % children
+					switch op % 4 {
+					case 0, 1: // child critical section
+						locks[i].Lock()
+						if got := inCrit[i].Add(1); got != 1 {
+							t.Errorf("child %d: double grant (%d holders)", i, got)
+						}
+						inCrit[i].Add(-1)
+						locks[i].Unlock()
+					case 2: // global critical section excludes every child
+						pc.WithGlobal(func() {
+							for c := range inCrit {
+								if n := inCrit[c].Load(); n != 0 {
+									t.Errorf("child %d inside critical section while global lock held", c)
+								}
+							}
+						})
+					case 3: // opportunistic path keeps the same exclusion
+						if locks[i].TryLock() {
+							if got := inCrit[i].Add(1); got != 1 {
+								t.Errorf("child %d: TryLock double grant (%d holders)", i, got)
+							}
+							inCrit[i].Add(-1)
+							locks[i].Unlock()
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// FuzzDevsetCounts drives the Devset application with interleaved
+// open/close/reset schedules and checks count consistency: every worker
+// tracks its own outstanding opens, TotalOpen snapshots are non-negative
+// and bounded, ResetIfIdle never fires while an open is outstanding at the
+// moment of its snapshot, and after all workers join the global count must
+// equal the sum of per-worker outstanding opens exactly.
+func FuzzDevsetCounts(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte("open-close-reset"))
+	f.Add([]byte{0xF0, 0x0F, 0xAA, 0x55, 0x11, 0x22, 0x33})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const (
+			workers = 4
+			members = 3
+		)
+		if len(script) > 2048 {
+			script = script[:2048]
+		}
+		d := NewDevset(members)
+		outstanding := make([]int, workers) // per-worker open balance
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			var ops []byte
+			for i := w; i < len(script); i += workers {
+				ops = append(ops, script[i])
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				held := make([]int, members) // this worker's opens per member
+				for _, op := range ops {
+					i := int(op>>2) % members
+					switch op % 4 {
+					case 0, 1:
+						d.Open(i)
+						held[i]++
+						outstanding[w]++
+					case 2:
+						if held[i] > 0 {
+							d.Close(i)
+							held[i]--
+							outstanding[w]--
+						}
+					case 3:
+						if n := d.TotalOpen(); n < 0 || n > len(ops)*workers {
+							t.Errorf("TotalOpen() = %d out of range", n)
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		want := 0
+		for _, n := range outstanding {
+			want += n
+		}
+		if got := d.TotalOpen(); got != want {
+			t.Errorf("TotalOpen() = %d after join, per-worker models sum to %d", got, want)
+		}
+		ran := d.ResetIfIdle(func() {})
+		if want == 0 && !ran {
+			t.Error("ResetIfIdle refused with zero outstanding opens")
+		}
+		if want > 0 && ran {
+			t.Errorf("ResetIfIdle ran with %d outstanding opens", want)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Estimate is a cross-seed aggregate of one scalar metric: the mean over
+// K independent deterministic runs (one per seed) plus a 95% confidence
+// half-width. Because each simulation run is exactly reproducible given its
+// seed, the spread across seeds is the simulator's analog of run-to-run
+// variance on real hardware.
+type Estimate struct {
+	Mean time.Duration
+	// Half is the 95% confidence half-width (Student-t over the per-seed
+	// values); zero when fewer than two seeds contributed.
+	Half time.Duration
+	// N is the number of seeds aggregated.
+	N int
+}
+
+// tCrit975 holds two-sided 95% Student-t critical values by degrees of
+// freedom (index = df, entry 0 unused). Beyond the table the normal
+// quantile 1.96 is used.
+var tCrit975 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	2.042,
+}
+
+// EstimateOf aggregates one value per seed into a mean ± 95% CI.
+func EstimateOf(perSeed []time.Duration) Estimate {
+	n := len(perSeed)
+	if n == 0 {
+		return Estimate{}
+	}
+	var sum float64
+	for _, v := range perSeed {
+		sum += float64(v)
+	}
+	mean := sum / float64(n)
+	e := Estimate{Mean: time.Duration(mean), N: n}
+	if n < 2 {
+		return e
+	}
+	var ss float64
+	for _, v := range perSeed {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1)) // sample (n-1) stddev
+	df := n - 1
+	t := 1.96
+	if df < len(tCrit975) {
+		t = tCrit975[df]
+	}
+	e.Half = time.Duration(t * sd / math.Sqrt(float64(n)))
+	return e
+}
+
+// EstimateMetric maps each per-seed value through f and aggregates — the
+// usual way to derive paired metrics (differences, stage times) without
+// materializing intermediate slices at every call site.
+func EstimateMetric[T any](perSeed []T, f func(T) time.Duration) Estimate {
+	vals := make([]time.Duration, len(perSeed))
+	for i, v := range perSeed {
+		vals[i] = f(v)
+	}
+	return EstimateOf(vals)
+}
+
+// FloatEstimateOf aggregates one dimensionless value per seed (e.g. a
+// percentage) into a mean and 95% half-width (zero when n < 2).
+func FloatEstimateOf(perSeed []float64) (mean, half float64, n int) {
+	n = len(perSeed)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, v := range perSeed {
+		sum += v
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0, n
+	}
+	var ss float64
+	for _, v := range perSeed {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	t := 1.96
+	if df < len(tCrit975) {
+		t = tCrit975[df]
+	}
+	return mean, t * sd / math.Sqrt(float64(n)), n
+}
+
+// roundDur formats a duration with the table's standard rounding.
+func roundDur(v time.Duration) string {
+	if v != 0 && v < time.Millisecond {
+		return v.Round(10 * time.Nanosecond).String()
+	}
+	return v.Round(time.Millisecond).String()
+}
+
+// String renders the estimate. Single-seed estimates render exactly like a
+// plain duration, so default runs stay byte-identical to pre-sweep output;
+// multi-seed estimates append the confidence half-width.
+func (e Estimate) String() string {
+	if e.N < 2 {
+		return roundDur(e.Mean)
+	}
+	return fmt.Sprintf("%s ±%s", roundDur(e.Mean), roundDur(e.Half))
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEstimateOfEmptyAndSingle(t *testing.T) {
+	if e := EstimateOf(nil); e.N != 0 || e.Mean != 0 || e.Half != 0 {
+		t.Fatalf("empty: %+v", e)
+	}
+	e := EstimateOf([]time.Duration{3 * time.Second})
+	if e.N != 1 || e.Mean != 3*time.Second || e.Half != 0 {
+		t.Fatalf("single: %+v", e)
+	}
+	if got := e.String(); got != "3s" {
+		t.Fatalf("single-seed String() = %q, want plain duration %q", got, "3s")
+	}
+}
+
+func TestEstimateOfKnownValues(t *testing.T) {
+	// Values 1s, 2s, 3s: mean 2s, sample sd 1s, t(df=2)=4.303,
+	// half-width = 4.303 * 1s / sqrt(3).
+	e := EstimateOf([]time.Duration{time.Second, 2 * time.Second, 3 * time.Second})
+	if e.N != 3 || e.Mean != 2*time.Second {
+		t.Fatalf("estimate: %+v", e)
+	}
+	want := 4.303 * float64(time.Second) / math.Sqrt(3)
+	if got := float64(e.Half); math.Abs(got-want) > float64(time.Millisecond) {
+		t.Fatalf("half-width = %v, want ~%v", e.Half, time.Duration(want))
+	}
+	if !strings.Contains(e.String(), "±") {
+		t.Fatalf("multi-seed String() = %q, want ± marker", e.String())
+	}
+}
+
+func TestEstimateIdenticalSeedsHaveZeroWidth(t *testing.T) {
+	e := EstimateOf([]time.Duration{5 * time.Second, 5 * time.Second, 5 * time.Second, 5 * time.Second})
+	if e.Half != 0 {
+		t.Fatalf("identical values should have zero CI, got %v", e.Half)
+	}
+}
+
+func TestEstimateMetric(t *testing.T) {
+	type run struct{ d time.Duration }
+	e := EstimateMetric([]run{{time.Second}, {3 * time.Second}}, func(r run) time.Duration { return r.d })
+	if e.Mean != 2*time.Second || e.N != 2 {
+		t.Fatalf("estimate: %+v", e)
+	}
+}
+
+func TestTableRendersEstimates(t *testing.T) {
+	tb := NewTable("metric", "value")
+	tb.AddRow("single", Estimate{Mean: 1500 * time.Millisecond, N: 1})
+	tb.AddRow("multi", Estimate{Mean: 1500 * time.Millisecond, Half: 20 * time.Millisecond, N: 3})
+	out := tb.String()
+	if !strings.Contains(out, "1.5s") {
+		t.Fatalf("table output %q missing plain rendering", out)
+	}
+	if !strings.Contains(out, "1.5s ±20ms") {
+		t.Fatalf("table output %q missing CI rendering", out)
+	}
+}
+
+func TestSampleSortSeals(t *testing.T) {
+	s := FromDurations([]time.Duration{3, 1, 2})
+	s.Sort()
+	vals := s.Values()
+	if vals[0] != 1 || vals[2] != 3 {
+		t.Fatalf("not sorted: %v", vals)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Sample is a collection of duration observations (e.g., per-container
@@ -41,6 +42,12 @@ func (s *Sample) N() int { return len(s.values) }
 
 // Values returns the observations in insertion order (not a copy).
 func (s *Sample) Values() []time.Duration { return s.values }
+
+// Sort orders the observations in place. Percentile queries sort lazily;
+// calling Sort once up front "seals" a sample that will later be read (but
+// never mutated) by concurrent consumers, e.g. via the harness result
+// cache.
+func (s *Sample) Sort() { s.ensureSorted() }
 
 func (s *Sample) ensureSorted() {
 	if !s.sorted {
@@ -223,11 +230,9 @@ func (t *Table) AddRow(cells ...any) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case time.Duration:
-			if v != 0 && v < time.Millisecond {
-				row[i] = v.Round(10 * time.Nanosecond).String()
-			} else {
-				row[i] = v.Round(time.Millisecond).String()
-			}
+			row[i] = roundDur(v)
+		case Estimate:
+			row[i] = v.String()
 		case float64:
 			row[i] = fmt.Sprintf("%.1f", v)
 		default:
@@ -237,16 +242,17 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Widths count runes, not
+// bytes, so cells with multi-byte characters (±, µ) still align.
 func (t *Table) String() string {
 	width := make([]int, len(t.header))
 	for i, h := range t.header {
-		width[i] = len(h)
+		width[i] = utf8.RuneCountInString(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
-				width[i] = len(c)
+			if n := utf8.RuneCountInString(c); i < len(width) && n > width[i] {
+				width[i] = n
 			}
 		}
 	}
@@ -258,7 +264,7 @@ func (t *Table) String() string {
 			}
 			b.WriteString(c)
 			if i < len(cells)-1 {
-				b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+				b.WriteString(strings.Repeat(" ", width[i]-utf8.RuneCountInString(c)))
 			}
 		}
 		b.WriteByte('\n')

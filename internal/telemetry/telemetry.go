@@ -119,6 +119,27 @@ func (r *Recorder) Totals() *stats.Sample {
 	return s
 }
 
+// AppendCanonical appends a canonical byte encoding of every recorded mark
+// and span to b and returns the extended slice. The encoding is a pure
+// function of the recorder's contents (marks ordered by container id, spans
+// in recording order), so two runs of the same seeded simulation must
+// produce identical bytes — the property the harness's determinism
+// verification checks. Recorders are per-run: each simulated host owns its
+// own, and fingerprinting one run never observes another's spans.
+func (r *Recorder) AppendCanonical(b []byte) []byte {
+	for _, id := range r.Containers() {
+		b = fmt.Appendf(b, "ctr %d start=%d", id, r.starts[id])
+		if e, ok := r.ends[id]; ok {
+			b = fmt.Appendf(b, " end=%d", e)
+		}
+		b = append(b, '\n')
+	}
+	for _, sp := range r.spans {
+		b = fmt.Appendf(b, "span %d %s %d %d\n", sp.Container, sp.Stage, sp.Start, sp.End)
+	}
+	return b
+}
+
 // StageTime returns the summed span time of stage within container id.
 func (r *Recorder) StageTime(container int, stage Stage) time.Duration {
 	var total time.Duration

@@ -1,0 +1,152 @@
+package zeromem
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// FuzzArenaInterleavings drives randomized interleavings of first-touch
+// acquisition, instant-zero marking, and release across concurrent workers
+// while the background scrubber races them, and checks the arena's core
+// security contract at every step: no acquirer ever observes another
+// tenant's residual bytes, and data an owner declared via MarkWritten
+// survives until that owner releases the page.
+//
+// The fuzz input is an op script: byte i is executed by worker i%workers on
+// that worker's private page range (ownership discipline is the caller's
+// job in the real system; the zeroing machinery underneath is what races).
+func FuzzArenaInterleavings(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte("acquire-release-mark"))
+	f.Add([]byte{0x00, 0x41, 0x82, 0xC3, 0x04, 0x45, 0x86, 0xC7, 0x08, 0x49})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 0, 1, 2, 3, 128, 129, 130})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const (
+			workers        = 4
+			pagesPerWorker = 8
+			pageSize       = 64
+		)
+		if len(script) > 4096 {
+			script = script[:4096]
+		}
+		a := NewArena(workers*pagesPerWorker, pageSize)
+		a.StartScrubber(time.Microsecond, 2)
+		defer a.StopScrubber()
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			var ops []byte
+			for i := w; i < len(script); i += workers {
+				ops = append(ops, script[i])
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pattern := byte(0x10 + w) // this worker's payload byte; never 0 or 0xA5
+				written := make([]bool, pagesPerWorker)
+				check := func(page int, buf []byte) {
+					if written[page] {
+						for j, b := range buf {
+							if b != pattern {
+								t.Errorf("worker %d page %d byte %d: owner data destroyed: %#x (want %#x)", w, page, j, b, pattern)
+								return
+							}
+						}
+						return
+					}
+					for j, b := range buf {
+						if b != 0 {
+							t.Errorf("worker %d page %d byte %d: residual data exposed: %#x", w, page, j, b)
+							return
+						}
+					}
+				}
+				for _, op := range ops {
+					page := int(op>>2) % pagesPerWorker
+					idx := w*pagesPerWorker + page
+					switch op % 4 {
+					case 0: // first touch: must see zeroes (or own data)
+						check(page, a.Acquire(idx))
+					case 1: // declare owner data: must persist until release
+						buf := a.MarkWritten(idx)
+						for j := range buf {
+							buf[j] = pattern
+						}
+						written[page] = true
+					case 2: // owner departs: page returns to the dirty pool
+						a.Release(idx)
+						written[page] = false
+					case 3: // re-read: whatever the state, never foreign bytes
+						check(page, a.Acquire(idx))
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Teardown: every page released and eagerly zeroed must read as
+		// zero — the vanilla discipline the lazy paths must converge to.
+		for i := 0; i < a.Pages(); i++ {
+			a.Release(i)
+		}
+		a.StopScrubber()
+		a.EagerZeroAll()
+		for i := 0; i < a.Pages(); i++ {
+			for j, b := range a.raw(i) {
+				if b != 0 {
+					t.Fatalf("page %d byte %d nonzero after EagerZeroAll: %#x", i, j, b)
+				}
+			}
+		}
+	})
+}
+
+// FuzzRegistryFaults drives the two-tier registry with interleaved
+// register/fault/drop sequences across owners and checks that a fault on a
+// tracked page always yields zeroed memory and untracks exactly that page.
+func FuzzRegistryFaults(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80})
+	f.Add([]byte{0xFF, 0x00, 0x7F, 0x80, 0x3C})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const pages = 16
+		if len(script) > 1024 {
+			script = script[:1024]
+		}
+		a := NewArena(pages, 32)
+		r := NewRegistry(a)
+		tracked := map[int]map[int]bool{} // owner -> page -> deferred
+		for _, op := range script {
+			owner := int(op>>2) % 3
+			page := int(op>>4) % pages
+			switch op % 4 {
+			case 0:
+				r.Register(owner, []int{page})
+				if tracked[owner] == nil {
+					tracked[owner] = map[int]bool{}
+				}
+				tracked[owner][page] = true
+			case 1:
+				buf := r.OnFault(owner, page)
+				if tracked[owner][page] {
+					for j, b := range buf {
+						if b != 0 {
+							t.Fatalf("owner %d page %d byte %d: fault on tracked page returned nonzero %#x", owner, page, j, b)
+						}
+					}
+					delete(tracked[owner], page)
+				}
+			case 2:
+				r.Drop(owner)
+				delete(tracked, owner)
+			case 3:
+				want := len(tracked[owner])
+				if got := r.Tracked(owner); got != want {
+					t.Fatalf("owner %d: Tracked() = %d, model says %d", owner, got, want)
+				}
+			}
+		}
+	})
+}
