@@ -8,6 +8,7 @@
 //	fastiov-bench -experiment fig12 -csv
 //	fastiov-bench -experiment all -workers 8 -seeds 5
 //	fastiov-bench -experiment all -verify-determinism
+//	fastiov-bench -experiment tab1 -faults "vfio-reset:p=0.1;dma-map:every=5"
 //
 // With -n <= 0 every experiment runs at its paper-default parameters
 // (concurrency 200 for the headline results). -csv emits the table as CSV
@@ -15,7 +16,9 @@
 // a worker pool (0 = GOMAXPROCS); -seeds K sweeps each scenario over seeds
 // 1..K and reports scalar metrics as mean ±95% CI; -verify-determinism runs
 // every simulation twice and every experiment both parallel and serial,
-// failing on any byte-level divergence.
+// failing on any byte-level divergence; -faults injects a deterministic
+// fault plan (site:key=value clauses; see EXPERIMENTS.md) into every
+// experiment.
 package main
 
 import (
@@ -60,8 +63,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		seeds      = fs.Int("seeds", 1, "seeds per scenario (sweep over seeds 1..K; scalar metrics become mean ±95% CI)")
 		workers    = fs.Int("workers", 1, "concurrent simulation runs (0 = GOMAXPROCS)")
 		verify     = fs.Bool("verify-determinism", false, "run each simulation twice and each experiment parallel+serial, failing on divergence")
+		faults     = fs.String("faults", "", "fault plan injected into every experiment, e.g. 'vfio-reset:p=0.1;dma-map:every=5'")
 	)
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if err := fastiov.ValidateFaultSpec(*faults); err != nil {
+		fmt.Fprintln(stderr, "fastiov-bench: -faults:", err)
 		return 2
 	}
 	if *outDir != "" {
@@ -75,6 +83,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Workers:           *workers,
 		Seeds:             fastiov.SeedList(*seeds),
 		VerifyDeterminism: *verify,
+		FaultSpec:         *faults,
 	})
 	entries := suite.Experiments()
 	if *list {

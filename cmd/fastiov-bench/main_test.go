@@ -95,6 +95,47 @@ func TestGoldenTab1CSV(t *testing.T) {
 	golden(t, "tab1_n20.csv", []string{"-experiment", "tab1", "-n", "20", "-csv"})
 }
 
+// The chaos goldens pin the fault-injection surface end to end: the sweep
+// table (success rate, survivor latency percentiles, injection counters,
+// retry telemetry) and its per-site notes at two seeds.
+func TestGoldenChaosText(t *testing.T) {
+	golden(t, "chaos_n20.txt", []string{"-experiment", "chaos", "-n", "20", "-seeds", "2"})
+}
+
+func TestGoldenChaosCSV(t *testing.T) {
+	golden(t, "chaos_n20.csv", []string{"-experiment", "chaos", "-n", "20", "-seeds", "2", "-csv"})
+}
+
+// TestBadFaultSpecExits2 checks -faults pre-validation: a malformed plan is
+// a usage error diagnosed before any experiment runs.
+func TestBadFaultSpecExits2(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "tab1", "-n", "20", "-faults", "bogus-site:p=0.1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown site") {
+		t.Errorf("stderr missing grammar diagnosis:\n%s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("experiment ran despite bad -faults:\n%s", stdout.String())
+	}
+}
+
+// TestFaultsFlagChangesOutput checks the -faults flag reaches the
+// simulation: the same experiment renders differently under a plan.
+func TestFaultsFlagChangesOutput(t *testing.T) {
+	var clean, faulted, errBuf bytes.Buffer
+	if code := run([]string{"-experiment", "tab1", "-n", "20"}, &clean, &errBuf); code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if code := run([]string{"-experiment", "tab1", "-n", "20", "-faults", "vfio-reset:p=0.2"}, &faulted, &errBuf); code != 0 {
+		t.Fatalf("faulted run: exit %d, stderr: %s", code, errBuf.String())
+	}
+	if stripTimes(clean.String()) == stripTimes(faulted.String()) {
+		t.Error("-faults vfio-reset:p=0.2 left tab1 output unchanged")
+	}
+}
+
 // TestErrorAggregation checks that a failing experiment no longer aborts
 // the batch: healthy ids still run and render, every bad id is reported,
 // and the exit code signals failure once at the end.

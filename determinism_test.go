@@ -63,6 +63,67 @@ func TestExperimentDeterminism(t *testing.T) {
 	}
 }
 
+// faultSpec is a non-trivial plan exercising every injection mechanism:
+// probabilistic failures, scripted every-Nth failures, and latency
+// inflation, across five of the six sites.
+const faultSpec = "cni-add:p=0.05;dma-map:every=5;mem-bw:lat=1.4;scrubber:p=0.3,lat=2;vfio-reset:p=0.08"
+
+// runFaultedAt is runAt with the fault plan installed suite-wide.
+func runFaultedAt(t *testing.T, id string, seed uint64) []byte {
+	t.Helper()
+	s := fastiov.NewSuite(fastiov.RunConfig{Workers: 1, Seeds: []uint64{seed}, FaultSpec: faultSpec})
+	rep, err := s.Run(id, testConcurrency)
+	if err != nil {
+		t.Fatalf("%s @seed=%d faults=%q: %v", id, seed, faultSpec, err)
+	}
+	return rep.Encode()
+}
+
+// TestExperimentDeterminismUnderFaults extends the determinism property to
+// fault injection: every registered experiment, run twice at the same seed
+// under a non-trivial fault plan, must produce byte-identical reports —
+// injection decisions, retries, backoff jitter, and failure accounting all
+// derive from the seed.
+func TestExperimentDeterminismUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry property test")
+	}
+	for _, e := range fastiov.Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			a := runFaultedAt(t, e.ID, 7)
+			b := runFaultedAt(t, e.ID, 7)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("%s: two faulted runs at seed 7 diverge:\n--- run1 ---\n%s\n--- run2 ---\n%s", e.ID, a, b)
+			}
+		})
+	}
+}
+
+// TestFaultsReachTheSimulation pins the complement: the fault plan must
+// actually change a startup-path report, or the whole chaos surface is
+// dead code.
+func TestFaultsReachTheSimulation(t *testing.T) {
+	clean := runAt(t, "tab1", 7)
+	faulted := runFaultedAt(t, "tab1", 7)
+	if bytes.Equal(clean, faulted) {
+		t.Errorf("fault plan %q left tab1 byte-identical to the fault-free run", faultSpec)
+	}
+}
+
+// TestBadFaultSpecSurfaces checks that a malformed RunConfig.FaultSpec is
+// reported from Run (NewSuite keeps its error-free signature).
+func TestBadFaultSpecSurfaces(t *testing.T) {
+	if err := fastiov.ValidateFaultSpec("vfio-reset:p=2"); err == nil {
+		t.Error("ValidateFaultSpec accepted p=2")
+	}
+	s := fastiov.NewSuite(fastiov.RunConfig{Workers: 1, FaultSpec: "bogus-site:p=0.1"})
+	if _, err := s.Run("tab1", testConcurrency); err == nil {
+		t.Error("suite with malformed fault spec ran anyway")
+	}
+}
+
 // TestSuiteVerifyDeterminism exercises the public verification mode on a
 // representative experiment: parallel execution through the pool must be
 // byte-equivalent to serial execution.

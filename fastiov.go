@@ -23,6 +23,7 @@ import (
 
 	"fastiov/internal/cluster"
 	"fastiov/internal/experiments"
+	"fastiov/internal/fault"
 	"fastiov/internal/locks"
 	"fastiov/internal/serverless"
 	"fastiov/internal/zeromem"
@@ -124,6 +125,25 @@ type RunConfig struct {
 	// and fail on any byte-level divergence of the canonical result
 	// encoding.
 	VerifyDeterminism bool
+	// FaultSpec is a fault-plan expression (see ValidateFaultSpec) injected
+	// into every experiment the suite runs. Empty means fault-free; the
+	// chaos experiment pins its own per-row plans and ignores it.
+	FaultSpec string
+}
+
+// ValidateFaultSpec parses a fault-plan expression and reports the first
+// grammar error, if any. The grammar is semicolon-separated site clauses:
+//
+//	site:key=value[,key=value...][;site:...]
+//
+// with sites vfio-reset, bus-reset, dma-map, mem-bw, scrubber, cni-add and
+// keys p (failure probability in [0,1]), every (fail every Nth occurrence),
+// limit (max injections), lat (latency multiplier > 0). Example:
+//
+//	vfio-reset:p=0.1;dma-map:every=5,limit=3;mem-bw:lat=1.5
+func ValidateFaultSpec(spec string) error {
+	_, err := fault.ParsePlan(spec)
+	return err
 }
 
 // Suite is a configured instance of the experiment suite: a worker pool,
@@ -132,13 +152,25 @@ type RunConfig struct {
 type Suite struct {
 	cfg RunConfig
 	x   *experiments.Exec
+	// faultErr records a malformed RunConfig.FaultSpec; it is surfaced from
+	// Run so NewSuite keeps its historical error-free signature.
+	faultErr error
 }
 
 // NewSuite builds a suite from cfg.
 func NewSuite(cfg RunConfig) *Suite {
 	x := experiments.NewExec(cfg.Workers, cfg.Seeds)
 	x.SetVerify(cfg.VerifyDeterminism)
-	return &Suite{cfg: cfg, x: x}
+	s := &Suite{cfg: cfg, x: x}
+	if cfg.FaultSpec != "" {
+		pl, err := fault.ParsePlan(cfg.FaultSpec)
+		if err != nil {
+			s.faultErr = fmt.Errorf("fastiov: fault spec: %w", err)
+		} else {
+			x.SetFaults(pl)
+		}
+	}
+	return s
 }
 
 // SeedList returns the conventional seed sweep 1..k for RunConfig.Seeds.
@@ -160,6 +192,9 @@ func (s *Suite) Experiments() []Experiment {
 // Run executes the suite entry with the given id. n <= 0 selects the
 // paper-default parameters.
 func (s *Suite) Run(id string, n int) (*Report, error) {
+	if s.faultErr != nil {
+		return nil, s.faultErr
+	}
 	e, err := experiments.Lookup(id)
 	if err != nil {
 		return nil, fmt.Errorf("fastiov: unknown experiment %q", id)
@@ -181,7 +216,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	if err != nil {
 		return err
 	}
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)

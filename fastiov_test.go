@@ -46,7 +46,7 @@ func TestExperimentSuiteComplete(t *testing.T) {
 		"fig13a", "fig13b", "fig13c", "fig14", "sec6.5",
 		"fig15", "fig16a-d", "fig16e-h", "fig16i-l",
 		"abl-busscan", "abl-pagesize", "abl-scrubber", "abl-slotreset",
-		"future-vdpa", "bg-dataplane", "ext-arrivals",
+		"future-vdpa", "bg-dataplane", "ext-arrivals", "chaos",
 	}
 	suite := Experiments()
 	if len(suite) != len(want) {

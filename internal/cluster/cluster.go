@@ -15,6 +15,7 @@ import (
 	"fastiov/internal/cni"
 	"fastiov/internal/cri"
 	"fastiov/internal/fastiovd"
+	"fastiov/internal/fault"
 	"fastiov/internal/guest"
 	"fastiov/internal/hostmem"
 	"fastiov/internal/hypervisor"
@@ -98,6 +99,14 @@ type Options struct {
 	StartJitter time.Duration
 	// Arrival selects the invocation arrival process (default: burst).
 	Arrival Arrival
+
+	// Faults attaches a deterministic fault-injection plan to every
+	// substrate of the host. A nil or all-zero plan builds no injector and
+	// leaves every code path byte-identical to a fault-free run.
+	Faults *fault.Plan
+	// Retry is the startup path's retry/backoff/timeout policy; the zero
+	// value selects fault.DefaultPolicy. Only exercised when faults fire.
+	Retry fault.Policy
 }
 
 // ArrivalKind names an invocation arrival process.
@@ -254,6 +263,8 @@ type Host struct {
 	Env  *hypervisor.Env
 	Eng  *cri.Engine
 	Rec  *telemetry.Recorder
+	// Faults is the host-wide injector (nil when Opts.Faults is empty).
+	Faults *fault.Injector
 
 	RTNL       *sim.Mutex
 	CgroupLock *sim.Mutex
@@ -277,7 +288,18 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		CgroupLock: sim.NewMutex("cgroup"),
 		IrqLock:    sim.NewMutex("irq-routing"),
 	}
+	// Fault injection: one injector per host, derived from the run seed,
+	// threaded into every substrate before any simulated work runs. Empty
+	// plans yield a nil injector, which every consumer treats as free.
+	h.Faults = fault.NewInjector(opts.Seed, opts.Faults)
+	pol := opts.Retry
+	if pol.MaxAttempts == 0 {
+		pol = fault.DefaultPolicy()
+	}
+	h.Mem.Faults = h.Faults
+
 	h.MMU = iommu.New(k, h.Mem.PageSize())
+	h.MMU.Faults = h.Faults
 	h.NIC = nic.New(k, h.Topo, spec.NIC)
 	if err := h.NIC.CreateVFs(nil, spec.NumVFs, h.Topo); err != nil {
 		return nil, err
@@ -287,9 +309,12 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		mode = vfio.LockParentChild
 	}
 	h.VFIO = vfio.New(k, h.Topo, h.Mem, h.MMU, mode, vfio.DefaultCosts())
+	h.VFIO.Faults = h.Faults
+	h.VFIO.Retry = pol
 	h.KVM = kvm.New(k, h.Mem)
 	if opts.LazyZeroing {
 		h.Lazy = fastiovd.New(k, h.Mem)
+		h.Lazy.Faults = h.Faults
 		h.KVM.Hook = h.Lazy.OnEPTFault
 		if !opts.DisableScrubber {
 			h.Lazy.StartScrubber(2*time.Millisecond, 8)
@@ -312,6 +337,8 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 	}
 
 	h.Env = hypervisor.NewEnv(k, h.Mem, h.KVM, h.VFIO, h.Lazy, h.CPU)
+	h.Env.Faults = h.Faults
+	h.Env.Retry = pol
 
 	var plugin cni.Plugin
 	switch opts.Network {
@@ -324,9 +351,13 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		} else if opts.LockDecomposition && opts.LazyZeroing {
 			name = "fastiov"
 		}
-		plugin = cni.NewSRIOV(name, h.NIC, h.VFIO, h.RTNL, cni.DefaultCosts(), opts.RebindFlaw)
+		sriov := cni.NewSRIOV(name, h.NIC, h.VFIO, h.RTNL, cni.DefaultCosts(), opts.RebindFlaw)
+		sriov.Faults = h.Faults
+		plugin = sriov
 	case NetIPvtap:
-		plugin = cni.NewIPvtap(h.RTNL, h.CgroupLock, cni.DefaultCosts())
+		ipvtap := cni.NewIPvtap(h.RTNL, h.CgroupLock, cni.DefaultCosts())
+		ipvtap.Faults = h.Faults
+		plugin = ipvtap
 	default:
 		return nil, fmt.Errorf("cluster: unknown network mode %d", opts.Network)
 	}
@@ -344,6 +375,8 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		VDPA:         opts.VDPA,
 		Layout:       opts.Layout,
 		GuestCosts:   gcosts,
+		Faults:       h.Faults,
+		Retry:        pol,
 	})
 	return h, nil
 }
@@ -357,12 +390,29 @@ type Result struct {
 	Recorder  *telemetry.Recorder
 	Sandboxes []*cri.Sandbox
 	Err       error
+
+	// Started counts launched containers; Failed counts those lost to
+	// injected faults after the retry budget ran out (their unfinished
+	// telemetry is excluded from Totals). Genuine errors still land in
+	// Err; fault-induced failures deliberately do not, because a chaos run
+	// measures them instead of aborting on them.
+	Started int
+	Failed  int
+	// FaultStats is the injector's per-site counter snapshot (nil when the
+	// host runs fault-free).
+	FaultStats []fault.SiteStat
+}
+
+// SuccessRate returns the fraction of started containers that finished
+// startup, in [0, 1]; a run with nothing started counts as 0.
+func (r *Result) SuccessRate() float64 {
+	return stats.SuccessRate(r.Started-r.Failed, r.Started)
 }
 
 // StartupExperiment concurrently starts n secure containers (crictl-style,
 // no application inside, §3.1) and collects per-container timings.
 func (h *Host) StartupExperiment(n int) *Result {
-	res := &Result{Name: h.Opts.Name, N: n, Recorder: h.Rec}
+	res := &Result{Name: h.Opts.Name, N: n, Recorder: h.Rec, Started: n}
 	sandboxes := make([]*cri.Sandbox, n)
 	arrivals := h.Opts.Arrival.times(h.K.Rand(), n, h.Opts.StartJitter)
 	for i := 0; i < n; i++ {
@@ -370,8 +420,13 @@ func (h *Host) StartupExperiment(n int) *Result {
 		at := h.K.Now() + arrivals[i]
 		h.K.GoAt(at, fmt.Sprintf("ctr-%d", i), func(p *sim.Proc) {
 			sb, err := h.Eng.RunPodSandbox(p, i)
-			if err != nil && res.Err == nil {
-				res.Err = err
+			if err != nil {
+				if fault.IsFault(err) {
+					res.Failed++
+				} else if res.Err == nil {
+					res.Err = err
+				}
+				return
 			}
 			sandboxes[i] = sb
 		})
@@ -381,8 +436,12 @@ func (h *Host) StartupExperiment(n int) *Result {
 	res.Totals = h.Rec.Totals()
 	res.VFRelated = stats.NewSample()
 	for _, id := range h.Rec.Containers() {
+		if h.Rec.Total(id) == 0 {
+			continue // failed under injected faults; excluded like Totals
+		}
 		res.VFRelated.Add(h.Rec.VFRelatedTime(id))
 	}
+	res.FaultStats = h.Faults.Snapshot()
 	return res
 }
 

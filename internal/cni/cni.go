@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"fastiov/internal/fault"
 	"fastiov/internal/nic"
 	"fastiov/internal/sim"
 	"fastiov/internal/telemetry"
@@ -55,6 +56,11 @@ type Costs struct {
 	IpvtapCgroupHold time.Duration
 	// IPConfig is address/route configuration on the interface.
 	IPConfig time.Duration
+	// AddTimeout is the plugin's own device-wait budget: an injected
+	// add-device fault consumes this much time before the Add call returns
+	// its timeout error (real CNIs block on netlink/device readiness until
+	// their deadline fires).
+	AddTimeout time.Duration
 }
 
 // DefaultCosts mirrors the calibration in DESIGN.md.
@@ -66,6 +72,7 @@ func DefaultCosts() Costs {
 		RTNLHoldIpvtap:   18 * time.Millisecond,
 		IpvtapCgroupHold: 12 * time.Millisecond,
 		IPConfig:         2 * time.Millisecond,
+		AddTimeout:       20 * time.Millisecond,
 	}
 }
 
@@ -85,6 +92,10 @@ type SRIOV struct {
 	rtnl   *sim.Mutex
 	costs  Costs
 	Rebind bool
+
+	// Faults, when non-nil, can time out Add calls (before any VF is
+	// allocated, so a retried Add starts clean) and inflate the rtnl hold.
+	Faults *fault.Injector
 }
 
 // NewSRIOV builds an SR-IOV plugin. rtnl is the host's global rtnl lock.
@@ -97,6 +108,13 @@ func (s *SRIOV) Name() string { return s.name }
 
 // Add allocates a VF and prepares its sandbox-visible interface.
 func (s *SRIOV) Add(p *sim.Proc, sandboxID int, rec SpanFn) (*Result, error) {
+	if err := s.Faults.Fail(fault.SiteCNIAdd); err != nil {
+		// The add blocks on device readiness until its own deadline fires,
+		// then fails — before any VF is allocated, so the runtime's retry
+		// does not leak one.
+		p.Sleep(s.costs.AddTimeout)
+		return nil, fmt.Errorf("cni %s: add sandbox %d: %w", s.name, sandboxID, err)
+	}
 	vf, err := s.card.AllocVF()
 	if err != nil {
 		return nil, err
@@ -117,7 +135,7 @@ func (s *SRIOV) Add(p *sim.Proc, sandboxID int, rec SpanFn) (*Result, error) {
 			return nil, fmt.Errorf("cni %s: VF %s not registered with VFIO", s.name, vf.Dev.Addr)
 		}
 		s.rtnl.Lock(p)
-		p.Sleep(s.costs.RTNLHoldDummy)
+		p.Sleep(s.Faults.Inflate(fault.SiteCNIAdd, s.costs.RTNLHoldDummy))
 		s.rtnl.Unlock(p)
 		res.VFIODev = vd
 		res.Ifname = fmt.Sprintf("dummy-vf%d", vf.Index)
@@ -147,6 +165,9 @@ type IPvtap struct {
 	rtnl       *sim.Mutex
 	cgroupLock *sim.Mutex
 	costs      Costs
+
+	// Faults mirrors SRIOV.Faults for the software-CNI path.
+	Faults *fault.Injector
 }
 
 // NewIPvtap builds the plugin; rtnl and cgroupLock are host-global.
@@ -159,9 +180,13 @@ func (t *IPvtap) Name() string { return "ipvtap" }
 
 // Add creates and configures the ipvtap device.
 func (t *IPvtap) Add(p *sim.Proc, sandboxID int, rec SpanFn) (*Result, error) {
+	if err := t.Faults.Fail(fault.SiteCNIAdd); err != nil {
+		p.Sleep(t.costs.AddTimeout)
+		return nil, fmt.Errorf("cni ipvtap: add sandbox %d: %w", sandboxID, err)
+	}
 	start := p.Now()
 	t.rtnl.Lock(p)
-	p.Sleep(t.costs.RTNLHoldIpvtap)
+	p.Sleep(t.Faults.Inflate(fault.SiteCNIAdd, t.costs.RTNLHoldIpvtap))
 	t.rtnl.Unlock(p)
 	p.Sleep(t.costs.IPConfig)
 	p.Sleep(t.costs.MoveToNNS)

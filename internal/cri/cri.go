@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fastiov/internal/cni"
+	"fastiov/internal/fault"
 	"fastiov/internal/guest"
 	"fastiov/internal/hypervisor"
 	"fastiov/internal/sim"
@@ -57,6 +58,11 @@ type Options struct {
 	Layout hypervisor.Layout
 	// GuestCosts parameterizes the guest-side model.
 	GuestCosts guest.Costs
+	// Faults and Retry enable fault-aware startup: a timed-out CNI add is
+	// re-invoked under the Retry policy, with backoff waits recorded as
+	// retry telemetry spans. Inert at their zero values.
+	Faults *fault.Injector
+	Retry  fault.Policy
 }
 
 // Engine is the container engine plus runtime for one host.
@@ -121,8 +127,17 @@ func (e *Engine) RunPodSandbox(p *sim.Proc, id int) (*Sandbox, error) {
 	e.env.CPU.Use(p, 1, e.costs.CgroupWork)
 	e.rec.Record(id, telemetry.StageCgroup, start, p.Now())
 
-	// CNI plugin: t_config.
-	res, err := e.plugin.Add(p, id, cni.SpanFn(spanFn))
+	// CNI plugin: t_config. A timed-out add (injected fault) is retried
+	// whole — the plugin fails before allocating a VF, so each attempt
+	// starts clean; genuine errors abort immediately.
+	var res *cni.Result
+	err := fault.Do(p, e.opts.Retry, e.opts.Faults, "cni-add", func() error {
+		r, aerr := e.plugin.Add(p, id, cni.SpanFn(spanFn))
+		if aerr == nil {
+			res = r
+		}
+		return aerr
+	}, func(ws, we time.Duration) { e.rec.Record(id, telemetry.StageRetry, ws, we) })
 	if err != nil {
 		return nil, fmt.Errorf("sandbox %d: cni add: %w", id, err)
 	}

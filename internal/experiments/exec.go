@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fastiov/internal/cluster"
+	"fastiov/internal/fault"
 	"fastiov/internal/harness"
 	"fastiov/internal/hypervisor"
 	"fastiov/internal/serverless"
@@ -22,6 +23,10 @@ import (
 type Exec struct {
 	pool  *harness.Pool
 	seeds []uint64
+	// faults is the executor-wide default fault plan (nil = fault-free):
+	// every spec that does not pin its own plan inherits it. The chaos
+	// experiment pins per-row plans and is therefore unaffected.
+	faults *fault.Plan
 }
 
 // NewExec returns an executor with the given worker count (<= 0 selects
@@ -62,6 +67,14 @@ func (x *Exec) Workers() int { return x.pool.Workers() }
 // encoding fails the experiment.
 func (x *Exec) SetVerify(v bool) { x.pool.SetVerify(v) }
 
+// SetFaults installs an executor-wide fault plan inherited by every spec
+// that does not pin its own. The plan participates in cache keys, so
+// faulted and fault-free runs of the same scenario never share results.
+func (x *Exec) SetFaults(pl *fault.Plan) { x.faults = pl }
+
+// Faults returns the executor-wide default plan (nil = fault-free).
+func (x *Exec) Faults() *fault.Plan { return x.faults }
+
 // CacheStats aliases the pool's traffic counters so callers above the
 // experiments layer need not import the harness directly.
 type CacheStats = harness.Stats
@@ -92,6 +105,10 @@ type startupSpec struct {
 	DisableScrubber bool
 	// Arrival overrides the invocation arrival process.
 	Arrival *cluster.Arrival
+	// Faults pins this spec's fault plan. Nil inherits the executor-wide
+	// plan; a non-nil empty plan pins "fault-free" (the chaos p=0 row),
+	// which canonicalizes to the same cache key as an unfaulted spec.
+	Faults *fault.Plan
 }
 
 // params canonically encodes the spec for the cache key.
@@ -109,6 +126,9 @@ func (s startupSpec) params() string {
 	}
 	if s.Arrival != nil {
 		fmt.Fprintf(&b, " arrival=%+v", *s.Arrival)
+	}
+	if !s.Faults.Empty() {
+		fmt.Fprintf(&b, " faults=%s", s.Faults)
 	}
 	return b.String()
 }
@@ -131,6 +151,7 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 	if s.Arrival != nil {
 		opts.Arrival = *s.Arrival
 	}
+	opts.Faults = s.Faults
 	spec := cluster.DefaultHostSpec()
 	if s.Spec != nil {
 		spec = *s.Spec
@@ -161,6 +182,15 @@ func fingerprintResult(v any) ([]byte, error) {
 	}
 	for _, d := range res.VFRelated.Values() {
 		b = fmt.Appendf(b, "vf %d\n", d)
+	}
+	// Failure accounting and injector counters join the fingerprint only
+	// for faulted runs, keeping fault-free fingerprints byte-identical to
+	// their pre-fault-layer encoding.
+	if res.FaultStats != nil {
+		b = fmt.Appendf(b, "started %d failed %d\n", res.Started, res.Failed)
+		for _, st := range res.FaultStats {
+			b = fmt.Appendf(b, "fault %s occ=%d inj=%d\n", st.Site, st.Occurrences, st.Injected)
+		}
 	}
 	return res.Recorder.AppendCanonical(b), nil
 }
@@ -222,6 +252,9 @@ func (x *Exec) startups(specs []startupSpec) ([]*MultiResult, error) {
 	jobs := make([]harness.Job, 0, len(specs)*len(x.seeds))
 	for _, sp := range specs {
 		sp := sp
+		if sp.Faults == nil {
+			sp.Faults = x.faults
+		}
 		for _, seed := range x.seeds {
 			seed := seed
 			jobs = append(jobs, harness.Job{
@@ -267,6 +300,9 @@ type serverlessSpec struct {
 	App             serverless.App
 	Layout          *hypervisor.Layout
 	DisableScrubber bool
+	// Faults pins this spec's fault plan; nil inherits the executor-wide
+	// plan (see startupSpec.Faults).
+	Faults *fault.Plan
 }
 
 func (s serverlessSpec) params() string {
@@ -277,6 +313,9 @@ func (s serverlessSpec) params() string {
 	}
 	if s.DisableScrubber {
 		b.WriteString(" noscrub")
+	}
+	if !s.Faults.Empty() {
+		fmt.Fprintf(&b, " faults=%s", s.Faults)
 	}
 	return b.String()
 }
@@ -293,6 +332,7 @@ func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
 	if s.DisableScrubber {
 		opts.DisableScrubber = true
 	}
+	opts.Faults = s.Faults
 	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
 	if err != nil {
 		return nil, err
@@ -346,6 +386,9 @@ func (x *Exec) serverlessRuns(specs []serverlessSpec) ([]*MultiSample, error) {
 	jobs := make([]harness.Job, 0, len(specs)*len(x.seeds))
 	for _, sp := range specs {
 		sp := sp
+		if sp.Faults == nil {
+			sp.Faults = x.faults
+		}
 		for _, seed := range x.seeds {
 			seed := seed
 			jobs = append(jobs, harness.Job{

@@ -98,6 +98,9 @@ func Registry() []Entry {
 		{"ext-arrivals", "Arrival-pattern sensitivity", func(x *Exec, n int) (*Report, error) {
 			return x.ExtArrivals(pick(n, DefaultConcurrency))
 		}},
+		{"chaos", "Startup resilience under injected faults", func(x *Exec, n int) (*Report, error) {
+			return x.Chaos(pick(n, 50))
+		}},
 	}
 }
 

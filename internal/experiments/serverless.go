@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fastiov/internal/cluster"
+	"fastiov/internal/fault"
 	"fastiov/internal/serverless"
 	"fastiov/internal/sim"
 	"fastiov/internal/stats"
@@ -12,7 +13,10 @@ import (
 
 // serverlessCompletions launches n tasks of app on a prepared host and
 // collects their completion times (the duration from startup-command
-// issuance to computation finish, §6.6).
+// issuance to computation finish, §6.6). Tasks killed by injected faults
+// are dropped from the sample — a faulted sweep measures the survivors —
+// while genuine errors still abort the run. Without faults every task
+// completes, so the sample is built identically to the pre-fault layer.
 func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app serverless.App) (*stats.Sample, error) {
 	completions := make([]time.Duration, n)
 	var firstErr error
@@ -24,7 +28,7 @@ func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app ser
 			issued := p.Now()
 			sb, err := h.Eng.RunPodSandbox(p, i)
 			if err != nil {
-				if firstErr == nil {
+				if !fault.IsFault(err) && firstErr == nil {
 					firstErr = err
 				}
 				return
@@ -45,7 +49,13 @@ func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app ser
 	if h.Mem.Violations != 0 {
 		return nil, fmt.Errorf("%s/%s: %d residual-data violations", opts.Name, app.Name, h.Mem.Violations)
 	}
-	return stats.FromDurations(completions), nil
+	done := completions[:0]
+	for _, d := range completions {
+		if d > 0 {
+			done = append(done, d)
+		}
+	}
+	return stats.FromDurations(done), nil
 }
 
 // runServerless runs one serverless scenario directly (no pool, no cache),

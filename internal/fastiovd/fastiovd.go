@@ -19,6 +19,7 @@ package fastiovd
 import (
 	"time"
 
+	"fastiov/internal/fault"
 	"fastiov/internal/hostmem"
 	"fastiov/internal/sim"
 )
@@ -69,6 +70,13 @@ type Module struct {
 	LazyZeroed    int
 	ScrubZeroed   int
 	InstantZeroed int
+
+	// Faults, when non-nil, can stall the background scrubber: a failed
+	// wake does no zeroing work, and a latency factor stretches the wake
+	// interval. Set before StartScrubber.
+	Faults *fault.Injector
+	// ScrubberStalls counts wakes lost to injected stalls.
+	ScrubberStalls int
 }
 
 // New loads the module.
@@ -194,7 +202,15 @@ func (m *Module) Release(pid int) { delete(m.tables, pid) }
 func (m *Module) StartScrubber(interval time.Duration, pagesPerPass int) {
 	m.k.GoDaemon("fastiovd-scrub", func(p *sim.Proc) {
 		for {
-			p.Sleep(interval)
+			p.Sleep(m.Faults.Inflate(fault.SiteScrubber, interval))
+			if err := m.Faults.Fail(fault.SiteScrubber); err != nil {
+				// Stalled wake: the scrubber thread lost its slice (e.g.
+				// preempted by a higher-priority task) and zeroes nothing
+				// this pass; deferred pages wait for the next wake or the
+				// EPT-fault path.
+				m.ScrubberStalls++
+				continue
+			}
 			cleared := 0
 			for cleared < pagesPerPass && len(m.scrubQueue) > 0 {
 				e := m.scrubQueue[0]

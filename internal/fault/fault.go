@@ -1,0 +1,396 @@
+// Package fault implements deterministic fault injection for the simulated
+// startup path. A Plan names injection sites (device reset, DMA map,
+// scrubber wake, CNI add, ...) and attaches a Rule to each: a
+// per-occurrence failure probability, a scripted every-Nth-occurrence
+// failure, and/or a latency inflation factor. An Injector evaluates the
+// plan with a PRNG stream derived from the simulation seed but independent
+// of the kernel's main stream, so injection decisions never perturb
+// arrival jitter or poll delays: the same seed plus the same plan yields
+// bit-for-bit identical runs, and an empty plan consumes no randomness at
+// all — every code path stays byte-identical to a fault-free build.
+//
+// The package also carries the robustness side: Policy describes bounded
+// retry with exponential backoff, deterministic jitter, and a per-stage
+// timeout, and Do runs an operation under that policy, retrying only
+// injected faults so genuine errors propagate unchanged.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// Site names an injection point in the startup path.
+type Site string
+
+// The injection sites threaded through the substrates.
+const (
+	// SiteVFIOReset is the function-level reset (FLR) issued on the VFIO
+	// device-open path, under the devset lock.
+	SiteVFIOReset Site = "vfio-reset"
+	// SiteBusReset is the devset-wide (bus-level) secondary reset; on
+	// failure the driver degrades to per-device slot resets.
+	SiteBusReset Site = "bus-reset"
+	// SiteDMAMap is the IOMMU translation install at the end of the DMA
+	// map path (retrieve → zero → pin → map).
+	SiteDMAMap Site = "dma-map"
+	// SiteMemBW inflates host memory zeroing latency (degraded bandwidth);
+	// it is a latency-only site and never fails.
+	SiteMemBW Site = "mem-bw"
+	// SiteScrubber stalls fastiovd's background scrubber: a failed wake
+	// does no zeroing work, and a latency factor stretches the wake
+	// interval.
+	SiteScrubber Site = "scrubber"
+	// SiteCNIAdd times out the CNI add-device call; the engine retries the
+	// whole add with backoff.
+	SiteCNIAdd Site = "cni-add"
+)
+
+// Sites returns every known injection site in canonical (sorted) order.
+func Sites() []Site {
+	return []Site{SiteBusReset, SiteCNIAdd, SiteDMAMap, SiteMemBW, SiteScrubber, SiteVFIOReset}
+}
+
+func knownSite(s Site) bool {
+	for _, k := range Sites() {
+		if k == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Rule configures one site. The zero value is inert.
+type Rule struct {
+	// Prob is the per-occurrence failure probability in [0, 1], drawn from
+	// the injector's seeded PRNG.
+	Prob float64
+	// EveryN, when > 0, fails deterministically on every Nth occurrence
+	// (scripted faults, independent of Prob).
+	EveryN int
+	// Limit, when > 0, caps the number of failures injected at this site.
+	Limit int
+	// Latency is a multiplicative inflation factor applied to the site's
+	// operation latency; 0 and 1 both mean "unchanged".
+	Latency float64
+}
+
+// active reports whether the rule can affect a run at all.
+func (r Rule) active() bool {
+	return r.Prob > 0 || r.EveryN > 0 || (r.Latency > 0 && r.Latency != 1)
+}
+
+// Plan maps sites to rules. The zero value and nil are both valid empty
+// plans.
+type Plan struct {
+	rules map[Site]Rule
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Set installs (or replaces) the rule for a site.
+func (pl *Plan) Set(site Site, r Rule) {
+	if pl.rules == nil {
+		pl.rules = make(map[Site]Rule)
+	}
+	pl.rules[site] = r
+}
+
+// Rule returns the rule for a site.
+func (pl *Plan) Rule(site Site) (Rule, bool) {
+	if pl == nil {
+		return Rule{}, false
+	}
+	r, ok := pl.rules[site]
+	return r, ok
+}
+
+// Empty reports whether the plan has no active rule (nil-safe). An empty
+// plan must behave exactly like no plan: NewInjector returns nil for it.
+func (pl *Plan) Empty() bool {
+	if pl == nil {
+		return true
+	}
+	for _, r := range pl.rules {
+		if r.active() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the plan in the -faults grammar with sites sorted and
+// inert fields omitted, so equal plans render identically (the rendering
+// doubles as a cache-key component). An empty plan renders as "".
+func (pl *Plan) String() string {
+	if pl == nil || len(pl.rules) == 0 {
+		return ""
+	}
+	sites := make([]string, 0, len(pl.rules))
+	for s := range pl.rules {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	var b strings.Builder
+	for _, s := range sites {
+		r := pl.rules[Site(s)]
+		var kvs []string
+		if r.Prob > 0 {
+			kvs = append(kvs, "p="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		if r.EveryN > 0 {
+			kvs = append(kvs, "every="+strconv.Itoa(r.EveryN))
+		}
+		if r.Limit > 0 {
+			kvs = append(kvs, "limit="+strconv.Itoa(r.Limit))
+		}
+		if r.Latency > 0 && r.Latency != 1 {
+			kvs = append(kvs, "lat="+strconv.FormatFloat(r.Latency, 'g', -1, 64))
+		}
+		if len(kvs) == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s)
+		b.WriteByte(':')
+		b.WriteString(strings.Join(kvs, ","))
+	}
+	return b.String()
+}
+
+// Uniform builds a plan failing each listed site (every site when none are
+// listed) with probability p.
+func Uniform(p float64, sites ...Site) *Plan {
+	if len(sites) == 0 {
+		sites = Sites()
+	}
+	pl := NewPlan()
+	for _, s := range sites {
+		pl.Set(s, Rule{Prob: p})
+	}
+	return pl
+}
+
+// ParsePlan parses the -faults grammar:
+//
+//	site:key=val[,key=val...][;site:key=val...]
+//
+// where site is one of Sites() and keys are p (probability in [0,1]),
+// every (fail each Nth occurrence, N >= 1), limit (max injected failures,
+// >= 0), and lat (latency factor, > 0). Malformed specs return an error;
+// the parser never panics. The empty string parses to an empty plan.
+func ParsePlan(spec string) (*Plan, error) {
+	pl := NewPlan()
+	if strings.TrimSpace(spec) == "" {
+		return pl, nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		siteStr, kvs, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q: want site:key=val[,key=val...]", part)
+		}
+		site := Site(strings.TrimSpace(siteStr))
+		if !knownSite(site) {
+			return nil, fmt.Errorf("fault: unknown site %q (known: %s)", siteStr, siteList())
+		}
+		if _, dup := pl.Rule(site); dup {
+			return nil, fmt.Errorf("fault: site %q specified twice", site)
+		}
+		var r Rule
+		for _, kv := range strings.Split(kvs, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: %s: %q: want key=val", site, kv)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			switch k {
+			case "p":
+				f, err := parseFloat(site, k, v)
+				if err != nil {
+					return nil, err
+				}
+				if f < 0 || f > 1 {
+					return nil, fmt.Errorf("fault: %s: p=%v out of [0,1]", site, v)
+				}
+				r.Prob = f
+			case "every":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("fault: %s: every=%q: want integer >= 1", site, v)
+				}
+				r.EveryN = n
+			case "limit":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("fault: %s: limit=%q: want integer >= 0", site, v)
+				}
+				r.Limit = n
+			case "lat":
+				f, err := parseFloat(site, k, v)
+				if err != nil {
+					return nil, err
+				}
+				if f <= 0 {
+					return nil, fmt.Errorf("fault: %s: lat=%v must be > 0", site, v)
+				}
+				r.Latency = f
+			default:
+				return nil, fmt.Errorf("fault: %s: unknown key %q (want p, every, limit, lat)", site, k)
+			}
+		}
+		pl.Set(site, r)
+	}
+	return pl, nil
+}
+
+// parseFloat rejects NaN and ±Inf in addition to syntax errors: a
+// non-finite probability or latency factor would poison every downstream
+// duration.
+func parseFloat(site Site, key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fault: %s: %s=%q: %v", site, key, v, err)
+	}
+	if f != f || f > 1e308 || f < -1e308 {
+		return 0, fmt.Errorf("fault: %s: %s=%q: non-finite value", site, key, v)
+	}
+	return f, nil
+}
+
+func siteList() string {
+	var parts []string
+	for _, s := range Sites() {
+		parts = append(parts, string(s))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Injector evaluates a plan at run time. A nil *Injector is the canonical
+// "no faults" value: every method is nil-safe and free, so substrates hold
+// a possibly-nil injector without branching at call sites.
+type Injector struct {
+	rng   *sim.Rand
+	sites map[Site]*siteState
+}
+
+type siteState struct {
+	rule        Rule
+	occurrences int
+	injected    int
+}
+
+// injectorSalt decorrelates the injector's PRNG stream from the kernel's
+// main stream, which is seeded with the raw run seed.
+const injectorSalt = 0x9E3779B97F4A7C15
+
+// NewInjector builds an injector for the plan, deriving an independent
+// PRNG stream from the run seed. Empty plans yield nil: zero faults means
+// zero draws, zero branches, and byte-identical simulation.
+func NewInjector(seed uint64, plan *Plan) *Injector {
+	if plan.Empty() {
+		return nil
+	}
+	inj := &Injector{
+		rng:   sim.NewRand(seed ^ injectorSalt),
+		sites: make(map[Site]*siteState),
+	}
+	for s, r := range plan.rules {
+		if r.active() {
+			inj.sites[s] = &siteState{rule: r}
+		}
+	}
+	return inj
+}
+
+// Fail records one occurrence at the site and returns an *InjectedError if
+// the plan fails it, nil otherwise. The probability draw happens on every
+// occurrence of a probabilistic site (even when a scripted rule already
+// fired), keeping the PRNG stream a pure function of the occurrence count.
+func (i *Injector) Fail(site Site) error {
+	if i == nil {
+		return nil
+	}
+	st := i.sites[site]
+	if st == nil {
+		return nil
+	}
+	st.occurrences++
+	hit := st.rule.EveryN > 0 && st.occurrences%st.rule.EveryN == 0
+	if st.rule.Prob > 0 && i.rng.Float64() < st.rule.Prob {
+		hit = true
+	}
+	if !hit || (st.rule.Limit > 0 && st.injected >= st.rule.Limit) {
+		return nil
+	}
+	st.injected++
+	return &InjectedError{Site: site, Occurrence: st.occurrences}
+}
+
+// Inflate applies the site's latency factor to a duration.
+func (i *Injector) Inflate(site Site, d time.Duration) time.Duration {
+	if i == nil {
+		return d
+	}
+	st := i.sites[site]
+	if st == nil {
+		return d
+	}
+	if f := st.rule.Latency; f > 0 && f != 1 {
+		return time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Rand exposes the injector's PRNG stream (nil for a nil injector) so
+// retry jitter draws from the fault stream, not the workload stream.
+func (i *Injector) Rand() *sim.Rand {
+	if i == nil {
+		return nil
+	}
+	return i.rng
+}
+
+// SiteStat is one site's occurrence/injection counters.
+type SiteStat struct {
+	Site        Site
+	Occurrences int
+	Injected    int
+}
+
+// Snapshot returns per-site counters sorted by site name (nil for a nil
+// injector), including configured sites that never fired.
+func (i *Injector) Snapshot() []SiteStat {
+	if i == nil {
+		return nil
+	}
+	out := make([]SiteStat, 0, len(i.sites))
+	for s, st := range i.sites {
+		out = append(out, SiteStat{Site: s, Occurrences: st.occurrences, Injected: st.injected})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Site < out[b].Site })
+	return out
+}
+
+// Injected returns the total number of failures injected across all sites.
+func (i *Injector) Injected() int {
+	if i == nil {
+		return 0
+	}
+	total := 0
+	for _, st := range i.sites {
+		total += st.injected
+	}
+	return total
+}

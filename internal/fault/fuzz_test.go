@@ -1,0 +1,49 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan asserts the parser's two safety properties: it never
+// panics on arbitrary input, and every spec it accepts canonicalizes to a
+// rendering that re-parses to the same rendering (String is a fixed point,
+// which is what makes it usable as a cache-key component).
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"vfio-reset:p=0.1",
+		"dma-map:every=5,limit=3;vfio-reset:p=0.1",
+		"mem-bw:lat=1.5",
+		"scrubber:p=0.3,lat=2;cni-add:p=0.05",
+		"bus-reset:every=1",
+		"vfio-reset:p=1e-05",
+		"bogus:p=0.1",
+		"vfio-reset:p=NaN",
+		"vfio-reset:p=0.1;vfio-reset:p=0.2",
+		";;;",
+		"vfio-reset:",
+		":p=0.1",
+		"vfio-reset:p==1",
+		"vfio-reset:p=0.1,,every=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		pl, err := ParsePlan(spec)
+		if err != nil {
+			if pl != nil {
+				t.Errorf("ParsePlan(%q) returned both a plan and error %v", spec, err)
+			}
+			return
+		}
+		canon := pl.String()
+		pl2, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of accepted spec %q does not re-parse: %v", canon, spec, err)
+		}
+		if got := pl2.String(); got != canon {
+			t.Errorf("String not a fixed point: %q -> %q -> %q", spec, canon, got)
+		}
+		if pl.Empty() != pl2.Empty() {
+			t.Errorf("emptiness diverges across round trip of %q", spec)
+		}
+	})
+}

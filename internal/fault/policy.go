@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// InjectedError marks a failure synthesized by an Injector. Retry loops
+// match it with IsInjected so genuine errors are never retried.
+type InjectedError struct {
+	Site       Site
+	Occurrence int
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s failure (occurrence %d)", e.Site, e.Occurrence)
+}
+
+// ExhaustedError reports that a retried stage ran out of attempts or time.
+// It wraps the last injected failure, so IsInjected and IsFault both match.
+type ExhaustedError struct {
+	Stage    string
+	Attempts int
+	Elapsed  time.Duration
+	TimedOut bool
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	why := "retries exhausted"
+	if e.TimedOut {
+		why = "stage timeout"
+	}
+	return fmt.Sprintf("fault: %s: %s after %d attempt(s) in %v: %v", e.Stage, why, e.Attempts, e.Elapsed, e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// IsInjected reports whether err originates from an injected fault.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// IsFault reports whether err is fault-injection machinery output (an
+// injected failure, possibly wrapped in retry exhaustion) rather than a
+// genuine simulation error. Callers use it to count a failed container
+// against the chaos success rate instead of aborting the experiment.
+func IsFault(err error) bool {
+	return IsInjected(err)
+}
+
+// Policy bounds a retried stage: at most MaxAttempts tries, exponential
+// backoff between them, and a wall-clock budget for the whole stage.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt included);
+	// values < 1 behave as 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// multiplies it by Multiplier, capped at MaxDelay.
+	BaseDelay  time.Duration
+	Multiplier float64
+	MaxDelay   time.Duration
+	// JitterFrac spreads each backoff by ±frac (deterministic, drawn from
+	// the injector's PRNG stream); 0 disables jitter.
+	JitterFrac float64
+	// Timeout is the per-stage wall-clock budget, measured from the first
+	// attempt; 0 means no timeout. A backoff that would cross the deadline
+	// is clamped to it, so the stage fails at the deadline rather than
+	// sleeping past it.
+	Timeout time.Duration
+}
+
+// DefaultPolicy mirrors the retry discipline real runtimes apply to flaky
+// passthrough hardware: a handful of quick retries, exponential spacing,
+// and a stage budget well below the pod-start timeout.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   2 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    50 * time.Millisecond,
+		JitterFrac:  0.2,
+		Timeout:     time.Second,
+	}
+}
+
+// Delay returns the backoff before retry number retry (1-based: the wait
+// after the first failed attempt is Delay(1, ...)). A nil rng skips
+// jitter, keeping the no-fault path draw-free.
+func (pol Policy) Delay(retry int, rng *sim.Rand) time.Duration {
+	d := pol.BaseDelay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	mult := pol.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 1; i < retry; i++ {
+		d = time.Duration(float64(d) * mult)
+		if pol.MaxDelay > 0 && d >= pol.MaxDelay {
+			d = pol.MaxDelay
+			break
+		}
+	}
+	if pol.MaxDelay > 0 && d > pol.MaxDelay {
+		d = pol.MaxDelay
+	}
+	if pol.JitterFrac > 0 && rng != nil {
+		d = rng.Jitter(d, pol.JitterFrac)
+	}
+	return d
+}
+
+// Do runs op under the policy: injected failures are retried with backoff
+// until attempts or the stage timeout run out; any other error (including
+// nil) returns immediately, so genuine failures propagate unchanged. Each
+// backoff sleep is reported to onWait (when non-nil) with its start and
+// end times, letting callers record retry telemetry spans. On exhaustion
+// Do returns an *ExhaustedError wrapping the last injected failure.
+func Do(p *sim.Proc, pol Policy, inj *Injector, stage string, op func() error, onWait func(start, end time.Duration)) error {
+	attempts := pol.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	start := p.Now()
+	deadline := time.Duration(-1)
+	if pol.Timeout > 0 {
+		deadline = start + pol.Timeout
+	}
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !IsInjected(err) {
+			return err
+		}
+		if attempt >= attempts {
+			return &ExhaustedError{Stage: stage, Attempts: attempt, Elapsed: p.Now() - start, Last: err}
+		}
+		wait := pol.Delay(attempt, inj.Rand())
+		timedOut := false
+		if deadline >= 0 {
+			if remaining := deadline - p.Now(); remaining <= 0 {
+				timedOut = true
+				wait = 0
+			} else if wait > remaining {
+				// The deadline expires mid-backoff: sleep only to the
+				// deadline, then fail the stage instead of retrying.
+				timedOut = true
+				wait = remaining
+			}
+		}
+		if wait > 0 {
+			ws := p.Now()
+			p.Sleep(wait)
+			if onWait != nil {
+				onWait(ws, p.Now())
+			}
+		}
+		if timedOut {
+			return &ExhaustedError{Stage: stage, Attempts: attempt, Elapsed: p.Now() - start, TimedOut: true, Last: err}
+		}
+	}
+}

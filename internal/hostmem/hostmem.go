@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"fastiov/internal/fault"
 	"fastiov/internal/sim"
 )
 
@@ -144,6 +145,10 @@ type Allocator struct {
 	// ZeroedBytes counts bytes actually cleared (skipping already-zeroed
 	// pages), for pre-zeroing effectiveness reporting.
 	ZeroedBytes int64
+
+	// Faults, when non-nil, degrades zeroing bandwidth by inflating each
+	// zeroing operation's duration (the mem-bw latency site).
+	Faults *fault.Injector
 }
 
 // New builds an allocator; all pages start free and dirty (residual data
@@ -263,7 +268,7 @@ func (a *Allocator) ZeroPage(p *sim.Proc, page int64) {
 	if a.state[page] != Dirty {
 		return
 	}
-	d := time.Duration(int64(time.Second) * a.cfg.PageSize / a.cfg.ZeroBytesPerSec)
+	d := a.Faults.Inflate(fault.SiteMemBW, time.Duration(int64(time.Second)*a.cfg.PageSize/a.cfg.ZeroBytesPerSec))
 	a.membw.Use(p, 1, d)
 	a.state[page] = Zeroed
 	a.ZeroedBytes += a.cfg.PageSize
@@ -286,7 +291,7 @@ func (a *Allocator) ZeroRegion(p *sim.Proc, region *Region) {
 				j++
 			}
 			n := j - i
-			d := time.Duration(int64(time.Second) * n * a.cfg.PageSize / a.cfg.ZeroBytesPerSec)
+			d := a.Faults.Inflate(fault.SiteMemBW, time.Duration(int64(time.Second)*n*a.cfg.PageSize/a.cfg.ZeroBytesPerSec))
 			a.membw.Use(p, 1, d)
 			for k := i; k < j; k++ {
 				a.state[k] = Zeroed

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fastiov/internal/fastiovd"
+	"fastiov/internal/fault"
 	"fastiov/internal/hostmem"
 	"fastiov/internal/kvm"
 	"fastiov/internal/sim"
@@ -68,6 +69,12 @@ type Env struct {
 	// VhostLock serializes vhost/virtio device registration host-wide.
 	VhostLock *sim.Mutex
 	Costs     Costs
+
+	// Faults, when non-nil, enables fault-aware startup: DMA-map calls are
+	// retried under Retry with backoff waits surfaced as retry telemetry
+	// spans. Both fields are inert at their zero values.
+	Faults *fault.Injector
+	Retry  fault.Policy
 }
 
 // NewEnv wires an Env with the default cost model.
@@ -195,7 +202,7 @@ func (m *MicroVM) MapGuestMemory(p *sim.Proc, vd *vfio.Device, skipImage bool) e
 
 	// Guest RAM: always DMA-mapped (the NIC writes packets here).
 	start := p.Now()
-	ram, err := m.container.MapDMA(p, l.RAMBase(), l.RAMBytes, ramHook)
+	ram, err := m.mapDMA(p, "ram", l.RAMBase(), l.RAMBytes, ramHook)
 	if err != nil {
 		return err
 	}
@@ -205,7 +212,7 @@ func (m *MicroVM) MapGuestMemory(p *sim.Proc, vd *vfio.Device, skipImage bool) e
 	}
 	// Firmware: DMA-mapped alongside RAM; under lazy zeroing it is
 	// instant-zeroed because the hypervisor writes it before boot.
-	fw, err := m.container.MapDMA(p, l.FirmwareBase(), l.FirmwareBytes, fwHook)
+	fw, err := m.mapDMA(p, "firmware", l.FirmwareBase(), l.FirmwareBytes, fwHook)
 	if err != nil {
 		return err
 	}
@@ -230,7 +237,7 @@ func (m *MicroVM) MapGuestMemory(p *sim.Proc, vd *vfio.Device, skipImage bool) e
 		m.imageSkipped = true
 	} else {
 		noZero := func(*sim.Proc, *hostmem.Region) {} // content replaces zeroing
-		img, err := m.container.MapDMA(p, l.ImageBase(), l.ImageBytes, noZero)
+		img, err := m.mapDMA(p, "image", l.ImageBase(), l.ImageBytes, noZero)
 		if err != nil {
 			return err
 		}
@@ -250,16 +257,45 @@ func (m *MicroVM) MapGuestMemory(p *sim.Proc, vd *vfio.Device, skipImage bool) e
 	return nil
 }
 
+// mapDMA installs one guest region's DMA mapping, retrying transient
+// (injected) map errors under the Env's policy. The VFIO layer fully
+// unwinds a failed attempt (unpin + free), so each retry re-runs the whole
+// retrieve → zero → pin → map pipeline on fresh pages. Backoff waits are
+// recorded as retry spans; genuine errors propagate without retry.
+func (m *MicroVM) mapDMA(p *sim.Proc, what string, iovaBase, bytes int64, hook vfio.ZeroHook) (*hostmem.Region, error) {
+	env := m.Env
+	var region *hostmem.Region
+	err := fault.Do(p, env.Retry, env.Faults, "dma-map-"+what, func() error {
+		r, err := m.container.MapDMA(p, iovaBase, bytes, hook)
+		if err == nil {
+			region = r
+		}
+		return err
+	}, func(ws, we time.Duration) { m.span(telemetry.StageRetry, ws, we) })
+	if err != nil {
+		return nil, fmt.Errorf("vm %d: dma-map %s: %w", m.ID, what, err)
+	}
+	return region, nil
+}
+
 // OpenDevice performs the device-registration half of attachment
 // (4-vfio-dev): the hypervisor obtains the device fd from its group
 // (VFIO_GROUP_GET_DEVICE_FD) — the step the devset lock serializes
-// host-wide under the vanilla discipline.
+// host-wide under the vanilla discipline. FLR retries happen inside the
+// driver (under the devset lock); their cumulative backoff wait is
+// surfaced here as a retry-stage overlay span.
 func (m *MicroVM) OpenDevice(p *sim.Proc) error {
 	start := p.Now()
-	if _, err := m.vfdev.Group().GetDeviceFD(p, m.vfdev); err != nil {
-		return err
+	_, retried, err := m.vfdev.Group().GetDeviceFD(p, m.vfdev)
+	if err != nil {
+		return fmt.Errorf("vm %d: open device: %w", m.ID, err)
 	}
 	m.span(telemetry.StageVFIODev, start, p.Now())
+	if retried > 0 {
+		// Aggregate overlay: the waits happened piecemeal under the devset
+		// lock; anchor their total at the stage's tail.
+		m.span(telemetry.StageRetry, p.Now()-retried, p.Now())
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"fastiov/internal/fault"
 	"fastiov/internal/hostmem"
 	"fastiov/internal/sim"
 )
@@ -21,6 +22,10 @@ type IOMMU struct {
 
 	// MapCostPerPage is the cost of installing one I/O page-table entry.
 	MapCostPerPage time.Duration
+
+	// Faults, when non-nil, can fail Map calls (transient DMA-map errors)
+	// and inflate the per-PTE install cost.
+	Faults *fault.Injector
 }
 
 // New creates an IOMMU whose page tables use the given granule (must match
@@ -68,6 +73,12 @@ func (d *Domain) Map(p *sim.Proc, iovaBase int64, region *hostmem.Region) error 
 	if iovaBase%d.unit.pageSize != 0 {
 		return fmt.Errorf("iommu: unaligned IOVA base %#x", iovaBase)
 	}
+	// Injected failure fires before any PTE is installed, so a failed Map
+	// leaves the domain untouched and the VFIO caller's cleanup path
+	// (unpin + free) fully unwinds the attempt.
+	if err := d.unit.Faults.Fail(fault.SiteDMAMap); err != nil {
+		return fmt.Errorf("iommu: map IOVA %#x in domain %d: %w", iovaBase, d.ID, err)
+	}
 	iovaPage := iovaBase / d.unit.pageSize
 	var count int64
 	var err error
@@ -87,7 +98,7 @@ func (d *Domain) Map(p *sim.Proc, iovaBase int64, region *hostmem.Region) error 
 		return err
 	}
 	d.MappedBytes += count * d.unit.pageSize
-	if cost := time.Duration(count) * d.unit.MapCostPerPage; cost > 0 {
+	if cost := d.unit.Faults.Inflate(fault.SiteDMAMap, time.Duration(count)*d.unit.MapCostPerPage); cost > 0 {
 		p.Sleep(cost)
 	}
 	return nil

@@ -30,7 +30,9 @@ var tCrit975 = []float64{
 	2.042,
 }
 
-// EstimateOf aggregates one value per seed into a mean ± 95% CI.
+// EstimateOf aggregates one value per seed into a mean ± 95% CI. An n=1
+// input has no spread to estimate: Half stays exactly zero (never NaN or
+// ±Inf from a zero-degrees-of-freedom division).
 func EstimateOf(perSeed []time.Duration) Estimate {
 	n := len(perSeed)
 	if n == 0 {
@@ -56,7 +58,13 @@ func EstimateOf(perSeed []time.Duration) Estimate {
 	if df < len(tCrit975) {
 		t = tCrit975[df]
 	}
-	e.Half = time.Duration(t * sd / math.Sqrt(float64(n)))
+	half := t * sd / math.Sqrt(float64(n))
+	// half is non-negative by construction; the upper bound also rejects
+	// values whose int64 conversion would overflow (and NaN, which fails
+	// every comparison).
+	if half < math.MaxInt64 {
+		e.Half = time.Duration(half)
+	}
 	return e
 }
 
@@ -73,13 +81,22 @@ func EstimateMetric[T any](perSeed []T, f func(T) time.Duration) Estimate {
 
 // FloatEstimateOf aggregates one dimensionless value per seed (e.g. a
 // percentage) into a mean and 95% half-width (zero when n < 2).
+// Non-finite inputs — the classic product of a 0/0 rate in an all-failed
+// scenario — are dropped before aggregation, so the result is always
+// finite; if every input was non-finite the estimate is (0, 0, 0).
 func FloatEstimateOf(perSeed []float64) (mean, half float64, n int) {
-	n = len(perSeed)
+	finite := make([]float64, 0, len(perSeed))
+	for _, v := range perSeed {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			finite = append(finite, v)
+		}
+	}
+	n = len(finite)
 	if n == 0 {
 		return 0, 0, 0
 	}
 	var sum float64
-	for _, v := range perSeed {
+	for _, v := range finite {
 		sum += v
 	}
 	mean = sum / float64(n)
@@ -87,7 +104,7 @@ func FloatEstimateOf(perSeed []float64) (mean, half float64, n int) {
 		return mean, 0, n
 	}
 	var ss float64
-	for _, v := range perSeed {
+	for _, v := range finite {
 		d := v - mean
 		ss += d * d
 	}
@@ -97,7 +114,25 @@ func FloatEstimateOf(perSeed []float64) (mean, half float64, n int) {
 	if df < len(tCrit975) {
 		t = tCrit975[df]
 	}
-	return mean, t * sd / math.Sqrt(float64(n)), n
+	half = t * sd / math.Sqrt(float64(n))
+	if math.IsNaN(half) || math.IsInf(half, 0) {
+		half = 0
+	}
+	return mean, half, n
+}
+
+// SuccessRate returns ok/total as a fraction in [0, 1], defining the
+// all-failed and nothing-ran cases as 0 instead of NaN so downstream
+// aggregation (FloatEstimateOf, table rendering) never sees a non-finite
+// rate.
+func SuccessRate(ok, total int) float64 {
+	if total <= 0 || ok <= 0 {
+		return 0
+	}
+	if ok > total {
+		ok = total
+	}
+	return float64(ok) / float64(total)
 }
 
 // roundDur formats a duration with the table's standard rounding.

@@ -64,6 +64,69 @@ func TestTableRendersEstimates(t *testing.T) {
 	}
 }
 
+// TestEstimateOfNeverNonFinite is the n=1 regression: a single-seed
+// estimate must keep Half exactly zero instead of the NaN a zero-df
+// division produces, and extreme values must not overflow Half to ±Inf.
+func TestEstimateOfNeverNonFinite(t *testing.T) {
+	for _, vals := range [][]time.Duration{
+		{7 * time.Second},
+		{0},
+		{math.MaxInt64, math.MinInt64},
+		{math.MaxInt64, math.MaxInt64 - 1, math.MinInt64},
+	} {
+		e := EstimateOf(vals)
+		if e.Half < 0 {
+			t.Errorf("EstimateOf(%v).Half = %v, negative (non-finite overflow)", vals, e.Half)
+		}
+		if strings.Contains(e.String(), "NaN") {
+			t.Errorf("EstimateOf(%v) renders %q", vals, e.String())
+		}
+	}
+}
+
+func TestFloatEstimateOfFiltersNonFinite(t *testing.T) {
+	// The classic all-failed chaos scenario: every per-seed rate is NaN.
+	if mean, half, n := FloatEstimateOf([]float64{math.NaN(), math.Inf(1), math.Inf(-1)}); mean != 0 || half != 0 || n != 0 {
+		t.Errorf("all-non-finite: (%v, %v, %d), want (0, 0, 0)", mean, half, n)
+	}
+	// Mixed input aggregates only the finite values.
+	mean, half, n := FloatEstimateOf([]float64{2, math.NaN(), 4, math.Inf(1)})
+	if n != 2 || mean != 3 {
+		t.Errorf("mixed: (%v, %v, %d), want mean 3 over n=2", mean, half, n)
+	}
+	if math.IsNaN(half) || math.IsInf(half, 0) {
+		t.Errorf("mixed: half = %v", half)
+	}
+	// n=1 after filtering: no spread to estimate, half stays zero.
+	if _, half, n := FloatEstimateOf([]float64{5, math.NaN()}); n != 1 || half != 0 {
+		t.Errorf("single finite: half=%v n=%d, want 0, 1", half, n)
+	}
+}
+
+func TestSuccessRate(t *testing.T) {
+	cases := []struct {
+		ok, total int
+		want      float64
+	}{
+		{0, 0, 0},    // nothing ran
+		{0, 10, 0},   // all failed
+		{-3, 10, 0},  // defensive: negative ok
+		{5, 0, 0},    // defensive: ok without population
+		{5, 10, 0.5},
+		{10, 10, 1},
+		{12, 10, 1}, // defensive: clamp ok > total
+	}
+	for _, c := range cases {
+		got := SuccessRate(c.ok, c.total)
+		if got != c.want {
+			t.Errorf("SuccessRate(%d, %d) = %v, want %v", c.ok, c.total, got, c.want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("SuccessRate(%d, %d) non-finite", c.ok, c.total)
+		}
+	}
+}
+
 func TestSampleSortSeals(t *testing.T) {
 	s := FromDurations([]time.Duration{3, 1, 2})
 	s.Sort()

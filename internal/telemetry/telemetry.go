@@ -32,6 +32,7 @@ const (
 	StageVFIODev  Stage = "4-vfio-dev"
 	StageVFDriver Stage = "5-vf-driver"
 	StageAddCNI   Stage = "6-add-cni" // software-CNI device creation (Fig. 14)
+	StageRetry    Stage = "7-retry"   // backoff waits spent retrying injected faults
 	StageOther    Stage = "other"
 )
 
@@ -262,6 +263,7 @@ var timelineGlyphs = map[Stage]byte{
 	StageVFIODev:  '4',
 	StageVFDriver: '5',
 	StageAddCNI:   '6',
+	StageRetry:    '7',
 	StageOther:    '.',
 }
 

@@ -2,6 +2,7 @@ package vfio
 
 import (
 	"fmt"
+	"time"
 
 	"fastiov/internal/hostmem"
 	"fastiov/internal/sim"
@@ -79,10 +80,13 @@ func (c *Container) AttachGroup(p *sim.Proc, g *Group) error {
 
 // GetDeviceFD implements VFIO_GROUP_GET_DEVICE_FD: the open path that runs
 // through the devset lock (§3.2.2). It requires the group to be attached
-// to a container first — the ordering QEMU's vfio realize follows.
-func (g *Group) GetDeviceFD(p *sim.Proc, vd *Device) (int, error) {
+// to a container first — the ordering QEMU's vfio realize follows. The
+// second result is the time spent in FLR retry backoff (always zero
+// without fault injection), so the hypervisor can surface it as a retry
+// telemetry span.
+func (g *Group) GetDeviceFD(p *sim.Proc, vd *Device) (int, time.Duration, error) {
 	if g.cont == nil {
-		return 0, fmt.Errorf("vfio: group %d not attached to a container", g.ID)
+		return 0, 0, fmt.Errorf("vfio: group %d not attached to a container", g.ID)
 	}
 	found := false
 	for _, m := range g.devices {
@@ -92,9 +96,9 @@ func (g *Group) GetDeviceFD(p *sim.Proc, vd *Device) (int, error) {
 		}
 	}
 	if !found {
-		return 0, fmt.Errorf("vfio: device %s not in group %d", vd.PDev.Addr, g.ID)
+		return 0, 0, fmt.Errorf("vfio: device %s not in group %d", vd.PDev.Addr, g.ID)
 	}
-	return g.driver.Open(p, vd), nil
+	return g.driver.OpenErr(p, vd)
 }
 
 // MapDMA implements VFIO_IOMMU_MAP_DMA at container scope: the mapping

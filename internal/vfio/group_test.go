@@ -42,7 +42,7 @@ func TestUAPIHappyPath(t *testing.T) {
 		if region.PageCount() != 8 {
 			t.Errorf("pages = %d", region.PageCount())
 		}
-		fd, err := vd.Group().GetDeviceFD(p, vd)
+		fd, _, err := vd.Group().GetDeviceFD(p, vd)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func TestDeviceFDRequiresAttachedContainer(t *testing.T) {
 	r := newRig(t, LockGlobal, 1)
 	vd := r.vds[0]
 	r.k.Go("t", func(p *sim.Proc) {
-		if _, err := vd.Group().GetDeviceFD(p, vd); err == nil {
+		if _, _, err := vd.Group().GetDeviceFD(p, vd); err == nil {
 			t.Error("device fd handed out before container attach")
 		}
 	})
@@ -140,7 +140,7 @@ func TestContainerCloseRefusesOpenDevices(t *testing.T) {
 		if err := c.AttachGroup(p, vd.Group()); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := vd.Group().GetDeviceFD(p, vd); err != nil {
+		if _, _, err := vd.Group().GetDeviceFD(p, vd); err != nil {
 			t.Fatal(err)
 		}
 		if err := c.Close(p); err == nil {

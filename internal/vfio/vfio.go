@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"fastiov/internal/fault"
 	"fastiov/internal/hostmem"
 	"fastiov/internal/iommu"
 	"fastiov/internal/pci"
@@ -77,6 +78,19 @@ func DefaultCosts() Costs {
 // FastIOV's fastiovd module registers the region for lazy zeroing instead.
 type ZeroHook func(p *sim.Proc, region *hostmem.Region)
 
+// FaultStats counts the driver's fault-handling outcomes for reports.
+type FaultStats struct {
+	// ResetRetries is the number of FLR reissues after injected failures.
+	ResetRetries int
+	// ResetExhausted counts opens that failed after exhausting FLR retries.
+	ResetExhausted int
+	// BusResetFailures counts injected devset-wide reset failures.
+	BusResetFailures int
+	// SlotFallbacks counts per-device slot resets issued as graceful
+	// degradation after a bus-level reset failed.
+	SlotFallbacks int
+}
+
 // Driver is the VFIO driver instance.
 type Driver struct {
 	k     *sim.Kernel
@@ -85,6 +99,14 @@ type Driver struct {
 	mmu   *iommu.IOMMU
 	mode  LockMode
 	costs Costs
+
+	// Faults, when non-nil, injects reset failures on the open and
+	// devset-reset paths; Retry bounds the in-lock FLR reissue loop. Both
+	// are inert at their zero values.
+	Faults *fault.Injector
+	Retry  fault.Policy
+	// Stats accumulates fault-handling counters (all zero without faults).
+	Stats FaultStats
 
 	busSets   map[int]*DevSet // bus number -> shared devset
 	devices   map[*pci.Device]*Device
@@ -230,11 +252,26 @@ func (d *Driver) Lookup(pdev *pci.Device) (*Device, bool) {
 // hypervisor obtains an fd for the device, which resets the function and
 // updates the devset open state. The locking discipline determines whether
 // concurrent opens of different devices in the same devset serialize.
+// Open panics if the reset fails, which cannot happen without an injector;
+// fault-aware callers use OpenErr.
 func (d *Driver) Open(p *sim.Proc, vd *Device) int {
+	fd, _, err := d.OpenErr(p, vd)
+	if err != nil {
+		panic("vfio: open of " + vd.PDev.Addr.String() + " failed without fault injection: " + err.Error())
+	}
+	return fd
+}
+
+// OpenErr is Open with fault handling exposed: it returns the fd, the
+// total time spent in backoff waits between FLR reissues (zero when the
+// first reset succeeded), and the error that remained after the retry
+// budget ran out. Retries happen under the devset lock, exactly where the
+// real driver reissues a stuck FLR.
+func (d *Driver) OpenErr(p *sim.Proc, vd *Device) (fd int, retried time.Duration, err error) {
 	switch d.mode {
 	case LockGlobal:
 		vd.Set.global.Lock(p)
-		d.openWork(p, vd, true)
+		retried, err = d.openWork(p, vd, true)
 		vd.Set.global.Unlock(p)
 	case LockParentChild:
 		// Inter-child operation: parent read lock + child mutex. Opens of
@@ -242,31 +279,60 @@ func (d *Driver) Open(p *sim.Proc, vd *Device) int {
 		// (write lock) excludes them all.
 		vd.Set.rw.RLock(p)
 		vd.mu.Lock(p)
-		d.openWork(p, vd, false)
+		retried, err = d.openWork(p, vd, false)
 		vd.mu.Unlock(p)
 		vd.Set.rw.RUnlock(p)
 	}
-	return vd.fd
+	if err != nil {
+		return 0, retried, err
+	}
+	return vd.fd, retried, nil
 }
 
 // openWork is the body of the open path. Under the vanilla discipline it
 // includes the full-bus membership scan; under the hierarchical discipline
 // the scan is deferred to devset-wide reset, which is the only operation
-// that needs the devset-global view.
-func (d *Driver) openWork(p *sim.Proc, vd *Device, scanBus bool) {
+// that needs the devset-global view. Devset state mutates only when the
+// reset succeeded, so a failed open leaves no open count behind.
+func (d *Driver) openWork(p *sim.Proc, vd *Device, scanBus bool) (time.Duration, error) {
 	if scanBus {
 		n := len(vd.PDev.Bus().Devices())
 		p.Sleep(time.Duration(n) * d.costs.BusScanPerDevice)
 	}
 	p.Sleep(d.costs.OpenCountCheck)
+	var retried time.Duration
 	if vd.openCount == 0 {
-		p.Sleep(d.costs.DeviceReset)
+		r, err := d.resetDevice(p)
+		retried = r
+		if err != nil {
+			d.Stats.ResetExhausted++
+			return retried, fmt.Errorf("vfio: open %s: %w", vd.PDev.Addr, err)
+		}
 	}
 	p.Sleep(d.costs.FDSetup)
 	vd.openCount++
 	vd.Set.totalOpen++
 	d.nextFD++
 	vd.fd = d.nextFD
+	return retried, nil
+}
+
+// resetDevice issues a function-level reset, reissuing it with backoff
+// when the injector fails it. It returns the cumulative backoff wait so
+// callers can surface the retry overlay in telemetry. Without an injector
+// it is exactly one DeviceReset sleep.
+func (d *Driver) resetDevice(p *sim.Proc) (time.Duration, error) {
+	var retried time.Duration
+	attempts := 0
+	err := fault.Do(p, d.Retry, d.Faults, "vfio-flr", func() error {
+		attempts++
+		p.Sleep(d.Faults.Inflate(fault.SiteVFIOReset, d.costs.DeviceReset))
+		return d.Faults.Fail(fault.SiteVFIOReset)
+	}, func(ws, we time.Duration) { retried += we - ws })
+	if attempts > 1 {
+		d.Stats.ResetRetries += attempts - 1
+	}
+	return retried, err
 }
 
 // Close releases one open of the device, resetting it on last close.
@@ -278,7 +344,9 @@ func (d *Driver) Close(p *sim.Proc, vd *Device) {
 		vd.openCount--
 		vd.Set.totalOpen--
 		if vd.openCount == 0 {
-			p.Sleep(d.costs.DeviceReset)
+			// Teardown reset: latency-inflatable but never failed — a
+			// release path has nothing useful to do with the error.
+			p.Sleep(d.Faults.Inflate(fault.SiteVFIOReset, d.costs.DeviceReset))
 		}
 	}
 	switch d.mode {
@@ -319,7 +387,20 @@ func (d *Driver) ResetSet(p *sim.Proc, s *DevSet) error {
 		return fmt.Errorf("vfio: devset %d busy: %d opens", s.ID, s.totalOpen)
 	}
 	for range s.devices {
-		p.Sleep(d.costs.DeviceReset)
+		p.Sleep(d.Faults.Inflate(fault.SiteBusReset, d.costs.DeviceReset))
+	}
+	if err := d.Faults.Fail(fault.SiteBusReset); err != nil {
+		// Graceful degradation: the bus-level secondary reset failed, so
+		// fall back to slot-level resets of each member function, each
+		// with its own FLR retry budget. Only if a member's retries also
+		// run dry does the devset reset fail.
+		d.Stats.BusResetFailures++
+		for _, vd := range s.devices {
+			d.Stats.SlotFallbacks++
+			if _, rerr := d.resetDevice(p); rerr != nil {
+				return fmt.Errorf("vfio: devset %d: bus reset failed, slot reset of %s: %w", s.ID, vd.PDev.Addr, rerr)
+			}
+		}
 	}
 	return nil
 }
