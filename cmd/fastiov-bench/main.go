@@ -9,6 +9,8 @@
 //	fastiov-bench -experiment all -workers 8 -seeds 5
 //	fastiov-bench -experiment all -verify-determinism
 //	fastiov-bench -experiment tab1 -faults "vfio-reset:p=0.1;dma-map:every=5"
+//	fastiov-bench -contention -n 100
+//	fastiov-bench -trace out.json -n 50
 //
 // With -n <= 0 every experiment runs at its paper-default parameters
 // (concurrency 200 for the headline results). -csv emits the table as CSV
@@ -64,6 +66,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 1, "concurrent simulation runs (0 = GOMAXPROCS)")
 		verify     = fs.Bool("verify-determinism", false, "run each simulation twice and each experiment parallel+serial, failing on divergence")
 		faults     = fs.String("faults", "", "fault plan injected into every experiment, e.g. 'vfio-reset:p=0.1;dma-map:every=5'")
+		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON of one traced startup run to this file and exit (load in ui.perfetto.dev)")
+		traceBase  = fs.String("trace-baseline", "vanilla", "baseline for -trace")
+		contention = fs.Bool("contention", false, "shorthand for -experiment contention")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -71,6 +76,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err := fastiov.ValidateFaultSpec(*faults); err != nil {
 		fmt.Fprintln(stderr, "fastiov-bench: -faults:", err)
 		return 2
+	}
+	if *tracePath != "" {
+		// Trace export is a standalone mode, like -list: one traced run of
+		// the startup scenario at the first seed, written as Chrome JSON.
+		tn := *n
+		if tn <= 0 {
+			tn = 50
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fastiov-bench: -trace:", err)
+			return 1
+		}
+		err = fastiov.WriteStartupTrace(f, *traceBase, tn, fastiov.SeedList(*seeds)[0])
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "fastiov-bench: -trace:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%s, %d containers); load it in ui.perfetto.dev or chrome://tracing\n",
+			*tracePath, *traceBase, tn)
+		return 0
+	}
+	if *contention {
+		*experiment = "contention"
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -104,6 +105,100 @@ func TestGoldenChaosText(t *testing.T) {
 
 func TestGoldenChaosCSV(t *testing.T) {
 	golden(t, "chaos_n20.csv", []string{"-experiment", "chaos", "-n", "20", "-seeds", "2", "-csv"})
+}
+
+// The contention goldens pin the lock-profiling surface: the per-baseline
+// top-lock table (wait/hold totals, queue depths, top blockers) and the
+// critical-path decomposition text, which must name the VFIO devset global
+// mutex as vanilla's dominant blocker.
+func TestGoldenContentionText(t *testing.T) {
+	golden(t, "contention_n20.txt", []string{"-contention", "-n", "20"})
+}
+
+func TestGoldenContentionCSV(t *testing.T) {
+	golden(t, "contention_n20.csv", []string{"-experiment", "contention", "-n", "20", "-csv"})
+}
+
+// traceFile runs `-trace` into a temp file and returns the bytes.
+func traceFile(t *testing.T, extra ...string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	argv := append([]string{"-trace", path}, extra...)
+	if code := run(argv, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", argv, code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "perfetto") {
+		t.Errorf("missing Perfetto pointer in: %s", stdout.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenTraceJSON pins the exported Chrome trace of a small run
+// byte-for-byte: event names, timestamps, durations, and tid/pid layout are
+// all pure functions of (baseline, n, seed).
+func TestGoldenTraceJSON(t *testing.T) {
+	got := traceFile(t, "-n", "5")
+	path := filepath.Join("testdata", "trace_n5.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/fastiov-bench -run TestGolden -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace JSON differs from %s (re-run with -update after intended changes)", path)
+	}
+}
+
+// TestTraceExportValidJSON is the acceptance check at paper-adjacent scale:
+// a 50-container export must be valid trace-event JSON with the expected
+// envelope, and two exports at the same seed must be byte-identical.
+func TestTraceExportValidJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-container export")
+	}
+	b1 := traceFile(t, "-n", "50")
+	b2 := traceFile(t, "-n", "50")
+	if !bytes.Equal(b1, b2) {
+		t.Error("two -trace exports at the same seed differ")
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b1, &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) < 100 {
+		t.Errorf("only %d events for a 50-container run", len(file.TraceEvents))
+	}
+	var sawDevsetWait bool
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("event missing name/ph: %+v", ev)
+		}
+		if strings.Contains(ev.Name, "vfio-devset") {
+			sawDevsetWait = true
+		}
+	}
+	if !sawDevsetWait {
+		t.Error("vanilla 50-container trace contains no vfio-devset wait events")
+	}
 }
 
 // TestBadFaultSpecExits2 checks -faults pre-validation: a malformed plan is

@@ -16,6 +16,7 @@ import (
 
 	"fastiov"
 	"fastiov/internal/telemetry"
+	"fastiov/internal/trace"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 	}
 	opts.Layout.RAMBytes = *memMB << 20
 	opts.Seed = *seed
+	// Causal tracing is recorded only when the run will be exported: probes
+	// are observational, so the measured times are identical either way.
+	opts.Trace = *traceOut != ""
 	spec := fastiov.DefaultHostSpec()
 	spec.NumVFs = *vfs
 
@@ -82,7 +86,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fastiov-sim:", err)
 			os.Exit(1)
 		}
-		if err := res.Recorder.WriteChromeTrace(f); err != nil {
+		// The causal export covers the old stage-only one and adds every
+		// proc, simulated work, and lock/resource waits with blockers.
+		a, err := trace.Analyze(res.Trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fastiov-sim:", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteChrome(f, a, res.Recorder, trace.DefaultBinder); err != nil {
 			fmt.Fprintln(os.Stderr, "fastiov-sim:", err)
 			os.Exit(1)
 		}

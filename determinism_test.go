@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fastiov"
+	"fastiov/internal/trace"
 )
 
 // testConcurrency keeps the property test fast: defConc(20) expands to a
@@ -160,6 +161,104 @@ func TestSuiteSharedCache(t *testing.T) {
 	}
 	if st.Hits == 0 {
 		t.Error("no cache hits recorded across fig5+tab1")
+	}
+}
+
+// runTracedAt is runAt with event-sourced tracing enabled suite-wide.
+func runTracedAt(t *testing.T, id string, seed uint64) []byte {
+	t.Helper()
+	s := fastiov.NewSuite(fastiov.RunConfig{Workers: 1, Seeds: []uint64{seed}, Trace: true})
+	rep, err := s.Run(id, testConcurrency)
+	if err != nil {
+		t.Fatalf("%s @seed=%d traced: %v", id, seed, err)
+	}
+	return rep.Encode()
+}
+
+// TestTracingIsTransparent is the observer-effect property: enabling
+// tracing must not change any experiment's rendered report. The probes
+// record passively — every registered experiment run with RunConfig.Trace
+// must render byte-identically to the untraced run at the same seed. (The
+// determinism *fingerprint* gains a trace digest, but the report tables,
+// text, and notes — everything Encode covers — must not move.) Because
+// every traced startup also verifies the critical-path identity in-run
+// (service + blocked + runnable == end-to-end total per container, see
+// trace.VerifyCriticalPaths), a passing traced run additionally proves the
+// decomposition sums exactly to the recorder's totals for every experiment
+// in the registry.
+func TestTracingIsTransparent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry property test")
+	}
+	for _, e := range fastiov.Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			if e.ID == "contention" {
+				// The one experiment whose report is built FROM traces: it
+				// pins tracing on regardless of RunConfig, so transparency
+				// trivially holds; assert determinism instead.
+				a, b := runTracedAt(t, e.ID, 7), runTracedAt(t, e.ID, 7)
+				if !bytes.Equal(a, b) {
+					t.Fatalf("contention: two traced runs at seed 7 diverge")
+				}
+				return
+			}
+			plain := runAt(t, e.ID, 7)
+			traced := runTracedAt(t, e.ID, 7)
+			if !bytes.Equal(plain, traced) {
+				t.Fatalf("%s: tracing perturbed the report:\n--- untraced ---\n%s\n--- traced ---\n%s", e.ID, plain, traced)
+			}
+		})
+	}
+}
+
+// TestTracedCriticalPathIdentity spells the decomposition invariant out on
+// one explicit host run instead of relying on the suite's in-run check: for
+// every completed container, service + blocked + runnable == the recorder's
+// end-to-end total, and in this discrete-event simulation wakeups are
+// instantaneous, so runnable is exactly zero.
+func TestTracedCriticalPathIdentity(t *testing.T) {
+	for _, baseline := range []string{fastiov.BaselineVanilla, fastiov.BaselineFastIOV} {
+		opts, err := fastiov.OptionsFor(baseline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Seed = 7
+		opts.Trace = true
+		h, err := fastiov.NewHost(fastiov.DefaultHostSpec(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := h.StartupExperiment(testConcurrency)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		a, err := trace.Analyze(res.Trace)
+		if err != nil {
+			t.Fatalf("%s: %v", baseline, err)
+		}
+		paths, err := a.CriticalPaths(res.Recorder, trace.DefaultBinder)
+		if err != nil {
+			t.Fatalf("%s: %v", baseline, err)
+		}
+		if len(paths) != testConcurrency {
+			t.Fatalf("%s: decomposed %d containers, want %d", baseline, len(paths), testConcurrency)
+		}
+		for _, d := range paths {
+			if got := d.Service + d.BlockedTotal() + d.Runnable; got != d.Total {
+				t.Errorf("%s ctr %d: service %v + blocked %v + runnable %v = %v != total %v",
+					baseline, d.Container, d.Service, d.BlockedTotal(), d.Runnable, got, d.Total)
+			}
+			if d.Total != res.Recorder.Total(d.Container) {
+				t.Errorf("%s ctr %d: decomposition total %v != recorder total %v",
+					baseline, d.Container, d.Total, res.Recorder.Total(d.Container))
+			}
+			if d.Runnable != 0 {
+				t.Errorf("%s ctr %d: runnable = %v, want 0 (DES wakeups are instantaneous)",
+					baseline, d.Container, d.Runnable)
+			}
+		}
 	}
 }
 

@@ -20,12 +20,14 @@ package fastiov
 
 import (
 	"fmt"
+	"io"
 
 	"fastiov/internal/cluster"
 	"fastiov/internal/experiments"
 	"fastiov/internal/fault"
 	"fastiov/internal/locks"
 	"fastiov/internal/serverless"
+	"fastiov/internal/trace"
 	"fastiov/internal/zeromem"
 )
 
@@ -129,6 +131,14 @@ type RunConfig struct {
 	// into every experiment the suite runs. Empty means fault-free; the
 	// chaos experiment pins its own per-row plans and ignores it.
 	FaultSpec string
+	// Trace enables event-sourced tracing on every simulation the suite
+	// runs: lock waits, holds, and wake-up causality are recorded, the
+	// critical-path identity (service + blocked + runnable == total) is
+	// verified per container, and the determinism fingerprint gains a
+	// trace digest. Reports render byte-identically with tracing on or
+	// off; the recorded streams surface through the contention experiment
+	// and WriteStartupTrace.
+	Trace bool
 }
 
 // ValidateFaultSpec parses a fault-plan expression and reports the first
@@ -161,6 +171,7 @@ type Suite struct {
 func NewSuite(cfg RunConfig) *Suite {
 	x := experiments.NewExec(cfg.Workers, cfg.Seeds)
 	x.SetVerify(cfg.VerifyDeterminism)
+	x.SetTrace(cfg.Trace)
 	s := &Suite{cfg: cfg, x: x}
 	if cfg.FaultSpec != "" {
 		pl, err := fault.ParsePlan(cfg.FaultSpec)
@@ -216,7 +227,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	if err != nil {
 		return err
 	}
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)
@@ -226,6 +237,38 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 		return fmt.Errorf("fastiov: experiment %q diverges between parallel and serial runs at byte %d: %s", id, off, detail)
 	}
 	return nil
+}
+
+// WriteStartupTrace boots the named baseline with tracing enabled, starts
+// n containers at the given seed, verifies the per-container critical-path
+// decomposition, and writes the run to w as Chrome trace-event JSON —
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Procs render
+// as threads; telemetry stage spans, simulated work, and lock/resource
+// waits render as complete events. The bytes are a pure function of
+// (baseline, n, seed).
+func WriteStartupTrace(w io.Writer, baseline string, n int, seed uint64) error {
+	opts, err := cluster.OptionsFor(baseline)
+	if err != nil {
+		return err
+	}
+	opts.Seed = seed
+	opts.Trace = true
+	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	if err != nil {
+		return err
+	}
+	res := h.StartupExperiment(n)
+	if res.Err != nil {
+		return res.Err
+	}
+	a, err := trace.Analyze(res.Trace)
+	if err != nil {
+		return err
+	}
+	if _, err := a.CriticalPaths(res.Recorder, trace.DefaultBinder); err != nil {
+		return err
+	}
+	return trace.WriteChrome(w, a, res.Recorder, trace.DefaultBinder)
 }
 
 // Experiments returns the full suite at its default configuration (serial,

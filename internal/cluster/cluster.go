@@ -26,6 +26,7 @@ import (
 	"fastiov/internal/sim"
 	"fastiov/internal/stats"
 	"fastiov/internal/telemetry"
+	"fastiov/internal/trace"
 	"fastiov/internal/vfio"
 )
 
@@ -99,6 +100,12 @@ type Options struct {
 	StartJitter time.Duration
 	// Arrival selects the invocation arrival process (default: burst).
 	Arrival Arrival
+
+	// Trace attaches an event-sourced tracer to the simulation kernel,
+	// recording lock waits, holds, and wake-up causality (internal/trace).
+	// Tracing never perturbs the simulation: virtual timings and rendered
+	// results are byte-identical with it on or off.
+	Trace bool
 
 	// Faults attaches a deterministic fault-injection plan to every
 	// substrate of the host. A nil or all-zero plan builds no injector and
@@ -263,6 +270,8 @@ type Host struct {
 	Env  *hypervisor.Env
 	Eng  *cri.Engine
 	Rec  *telemetry.Recorder
+	// Tracer records the kernel's probe stream (nil unless Opts.Trace).
+	Tracer *trace.Trace
 	// Faults is the host-wide injector (nil when Opts.Faults is empty).
 	Faults *fault.Injector
 
@@ -287,6 +296,11 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		RTNL:       sim.NewMutex("rtnl"),
 		CgroupLock: sim.NewMutex("cgroup"),
 		IrqLock:    sim.NewMutex("irq-routing"),
+	}
+	// The tracer attaches before any simulated work (including boot-time
+	// VF binding) so the stream covers the full execution.
+	if opts.Trace {
+		h.Tracer = trace.Attach(k)
 	}
 	// Fault injection: one injector per host, derived from the run seed,
 	// threaded into every substrate before any simulated work runs. Empty
@@ -389,7 +403,9 @@ type Result struct {
 	VFRelated *stats.Sample // per-container VF-related stage time
 	Recorder  *telemetry.Recorder
 	Sandboxes []*cri.Sandbox
-	Err       error
+	// Trace is the recorded event stream (nil unless Options.Trace).
+	Trace *trace.Trace
+	Err   error
 
 	// Started counts launched containers; Failed counts those lost to
 	// injected faults after the retry budget ran out (their unfinished
@@ -433,6 +449,7 @@ func (h *Host) StartupExperiment(n int) *Result {
 	}
 	h.K.Run()
 	res.Sandboxes = sandboxes
+	res.Trace = h.Tracer
 	res.Totals = h.Rec.Totals()
 	res.VFRelated = stats.NewSample()
 	for _, id := range h.Rec.Containers() {

@@ -12,6 +12,7 @@ import (
 	"fastiov/internal/serverless"
 	"fastiov/internal/stats"
 	"fastiov/internal/telemetry"
+	"fastiov/internal/trace"
 )
 
 // Exec is a configured experiment executor: a worker pool that fans
@@ -27,6 +28,11 @@ type Exec struct {
 	// every spec that does not pin its own plan inherits it. The chaos
 	// experiment pins per-row plans and is therefore unaffected.
 	faults *fault.Plan
+	// trace enables event-sourced tracing on every spec that does not pin
+	// its own setting. Traced runs carry a trace on the result and verify
+	// the critical-path decomposition, but render identically to untraced
+	// runs; the contention experiment pins tracing on regardless.
+	trace bool
 }
 
 // NewExec returns an executor with the given worker count (<= 0 selects
@@ -75,6 +81,11 @@ func (x *Exec) SetFaults(pl *fault.Plan) { x.faults = pl }
 // Faults returns the executor-wide default plan (nil = fault-free).
 func (x *Exec) Faults() *fault.Plan { return x.faults }
 
+// SetTrace enables event-sourced tracing for every spec that does not pin
+// its own setting. Tracing participates in cache keys, so traced and
+// untraced runs of the same scenario never share results.
+func (x *Exec) SetTrace(v bool) { x.trace = v }
+
 // CacheStats aliases the pool's traffic counters so callers above the
 // experiments layer need not import the harness directly.
 type CacheStats = harness.Stats
@@ -109,7 +120,14 @@ type startupSpec struct {
 	// plan; a non-nil empty plan pins "fault-free" (the chaos p=0 row),
 	// which canonicalizes to the same cache key as an unfaulted spec.
 	Faults *fault.Plan
+	// Trace pins event-sourced tracing for this spec. Nil inherits the
+	// executor-wide setting (see Exec.SetTrace); the contention experiment
+	// pins true.
+	Trace *bool
 }
+
+// traced resolves the effective tracing setting after inheritance.
+func (s startupSpec) traced() bool { return s.Trace != nil && *s.Trace }
 
 // params canonically encodes the spec for the cache key.
 func (s startupSpec) params() string {
@@ -129,6 +147,9 @@ func (s startupSpec) params() string {
 	}
 	if !s.Faults.Empty() {
 		fmt.Fprintf(&b, " faults=%s", s.Faults)
+	}
+	if s.traced() {
+		b.WriteString(" trace")
 	}
 	return b.String()
 }
@@ -152,6 +173,7 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 		opts.Arrival = *s.Arrival
 	}
 	opts.Faults = s.Faults
+	opts.Trace = s.traced()
 	spec := cluster.DefaultHostSpec()
 	if s.Spec != nil {
 		spec = *s.Spec
@@ -163,6 +185,13 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 	res := h.StartupExperiment(s.N)
 	if res.Err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Baseline, res.Err)
+	}
+	if res.Trace != nil {
+		// Standing invariant on every traced run: per-container critical
+		// paths must sum exactly to the recorder's end-to-end totals.
+		if err := trace.VerifyCriticalPaths(res.Trace, res.Recorder, trace.DefaultBinder); err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Baseline, err)
+		}
 	}
 	res.Totals.Sort()
 	res.VFRelated.Sort()
@@ -191,6 +220,13 @@ func fingerprintResult(v any) ([]byte, error) {
 		for _, st := range res.FaultStats {
 			b = fmt.Appendf(b, "fault %s occ=%d inj=%d\n", st.Site, st.Occurrences, st.Injected)
 		}
+	}
+	// The trace digest joins the fingerprint only for traced runs, keeping
+	// untraced fingerprints byte-identical to their pre-trace-layer
+	// encoding. The digest covers the full event stream, so determinism
+	// verification extends down to individual lock handoffs.
+	if res.Trace != nil {
+		b = fmt.Appendf(b, "trace events=%d fp=%016x\n", res.Trace.Len(), res.Trace.Fingerprint())
 	}
 	return res.Recorder.AppendCanonical(b), nil
 }
@@ -255,6 +291,10 @@ func (x *Exec) startups(specs []startupSpec) ([]*MultiResult, error) {
 		if sp.Faults == nil {
 			sp.Faults = x.faults
 		}
+		if sp.Trace == nil {
+			tv := x.trace
+			sp.Trace = &tv
+		}
 		for _, seed := range x.seeds {
 			seed := seed
 			jobs = append(jobs, harness.Job{
@@ -303,7 +343,12 @@ type serverlessSpec struct {
 	// Faults pins this spec's fault plan; nil inherits the executor-wide
 	// plan (see startupSpec.Faults).
 	Faults *fault.Plan
+	// Trace pins event-sourced tracing; nil inherits the executor-wide
+	// setting (see startupSpec.Trace).
+	Trace *bool
 }
+
+func (s serverlessSpec) traced() bool { return s.Trace != nil && *s.Trace }
 
 func (s serverlessSpec) params() string {
 	var b strings.Builder
@@ -316,6 +361,9 @@ func (s serverlessSpec) params() string {
 	}
 	if !s.Faults.Empty() {
 		fmt.Fprintf(&b, " faults=%s", s.Faults)
+	}
+	if s.traced() {
+		b.WriteString(" trace")
 	}
 	return b.String()
 }
@@ -333,6 +381,7 @@ func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
 		opts.DisableScrubber = true
 	}
 	opts.Faults = s.Faults
+	opts.Trace = s.traced()
 	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
 	if err != nil {
 		return nil, err
@@ -340,6 +389,11 @@ func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
 	sample, err := serverlessCompletions(h, opts, s.N, s.App)
 	if err != nil {
 		return nil, err
+	}
+	if h.Tracer != nil {
+		if err := trace.VerifyCriticalPaths(h.Tracer, h.Rec, trace.DefaultBinder); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", s.Baseline, s.App.Name, err)
+		}
 	}
 	sample.Sort()
 	return sample, nil
@@ -388,6 +442,10 @@ func (x *Exec) serverlessRuns(specs []serverlessSpec) ([]*MultiSample, error) {
 		sp := sp
 		if sp.Faults == nil {
 			sp.Faults = x.faults
+		}
+		if sp.Trace == nil {
+			tv := x.trace
+			sp.Trace = &tv
 		}
 		for _, seed := range x.seeds {
 			seed := seed

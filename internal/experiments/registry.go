@@ -101,6 +101,9 @@ func Registry() []Entry {
 		{"chaos", "Startup resilience under injected faults", func(x *Exec, n int) (*Report, error) {
 			return x.Chaos(pick(n, 50))
 		}},
+		{"contention", "Lock contention and critical paths", func(x *Exec, n int) (*Report, error) {
+			return x.Contention(pick(n, DefaultConcurrency))
+		}},
 	}
 }
 

@@ -122,6 +122,15 @@ func (r *Region) PageCount() int64 {
 	return n
 }
 
+// Sim-lock names the allocator registers with the kernel. The trace
+// subsystem surfaces them in contention profiles: ZoneLockName guards the
+// page-zone metadata, MemBWName is the zeroing-bandwidth resource whose
+// queue the vanilla DMA-RAM stage fights over.
+const (
+	ZoneLockName = "zone"
+	MemBWName    = "membw"
+)
+
 // Allocator is the host physical page allocator.
 type Allocator struct {
 	k     *sim.Kernel
@@ -173,8 +182,8 @@ func New(k *sim.Kernel, cfg Config) *Allocator {
 		allocated: make([]bool, pages),
 		pinned:    make([]int32, pages),
 		freeCnt:   pages,
-		zoneLock:  sim.NewMutex("zone"),
-		membw:     sim.NewResource("membw", cfg.ZeroStreams),
+		zoneLock:  sim.NewMutex(ZoneLockName),
+		membw:     sim.NewResource(MemBWName, cfg.ZeroStreams),
 	}
 }
 

@@ -42,6 +42,14 @@ type Kernel struct {
 	aborted  bool
 	panicked any // panic value captured from a Proc body, re-raised in Run
 
+	// running is the Proc currently holding the execution baton (nil
+	// between events and outside Run). It attributes spawns and wakeups to
+	// their causal source in probe events.
+	running *Proc
+	// probe, when non-nil, observes every scheduler and primitive
+	// transition (see probe.go).
+	probe func(at Duration, ev ProbeEvent)
+
 	// Trace, when non-nil, receives a line for every proc state change.
 	// Used by tests that assert on scheduling order.
 	Trace func(at Duration, format string, args ...any)
@@ -123,6 +131,7 @@ func (k *Kernel) newProc(name string, fn func(p *Proc), daemon bool) *Proc {
 		k.live++
 	}
 	k.procs[p] = struct{}{}
+	k.emit(ProbeSpawn, WaitNone, "", p, k.running, 0)
 	go func() {
 		<-p.resume
 		if !k.aborted {
@@ -133,7 +142,8 @@ func (k *Kernel) newProc(name string, fn func(p *Proc), daemon bool) *Proc {
 			k.live--
 		}
 		delete(k.procs, p)
-		p.done.fire()
+		k.emit(ProbeExit, WaitNone, "", p, nil, 0)
+		p.done.fireBy(p)
 		k.yield <- struct{}{}
 	}()
 	return p
@@ -172,8 +182,10 @@ func (k *Kernel) run(deadline Duration) Duration {
 		if p.finished {
 			continue // stale wakeup for an aborted/finished proc
 		}
+		k.running = p
 		p.resume <- struct{}{}
 		<-k.yield
+		k.running = nil
 		if k.panicked != nil {
 			// A Proc body panicked. Unwind the remaining goroutines, then
 			// re-raise in the caller's goroutine so tests can observe it.
@@ -233,7 +245,7 @@ func (k *Kernel) deadlockReport() string {
 		if p.daemon {
 			continue
 		}
-		lines = append(lines, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOn))
+		lines = append(lines, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOnString()))
 	}
 	sort.Strings(lines)
 	s := ""

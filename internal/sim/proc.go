@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // abortSentinel is panicked out of park when the simulation is torn down so
 // that parked goroutines unwind without executing further user code.
 type abortSentinel struct{}
@@ -17,7 +15,8 @@ type Proc struct {
 	resume    chan struct{}
 	finished  bool
 	parked    bool
-	blockedOn string
+	waitClass WaitClass
+	waitObj   string
 	done      *Event
 }
 
@@ -36,18 +35,28 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Duration { return p.k.now }
 
-// park hands the baton to the kernel and blocks until resumed. reason is
-// surfaced in deadlock reports.
-func (p *Proc) park(reason string) {
-	p.blockedOn = reason
+// park hands the baton to the kernel and blocks until resumed. The wait
+// class and object are surfaced in deadlock reports and probe events.
+func (p *Proc) park(class WaitClass, obj string) {
+	p.waitClass, p.waitObj = class, obj
 	p.parked = true
+	p.k.emit(ProbeBlock, class, obj, p, nil, 0)
 	p.k.yield <- struct{}{}
 	<-p.resume
 	p.parked = false
-	p.blockedOn = ""
+	p.waitClass, p.waitObj = WaitNone, ""
 	if p.k.aborted {
 		panic(abortSentinel{})
 	}
+	p.k.emit(ProbeUnblock, class, obj, p, nil, 0)
+}
+
+// blockedOnString renders the wait target for deadlock reports.
+func (p *Proc) blockedOnString() string {
+	if p.waitObj == "" {
+		return p.waitClass.String()
+	}
+	return p.waitClass.String() + " " + p.waitObj
 }
 
 // Sleep advances this Proc's virtual time by d. d <= 0 yields the processor
@@ -58,7 +67,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.k.schedule(p.k.now+d, p)
-	p.park(fmt.Sprintf("sleep(%v)", d))
+	p.park(WaitSleep, "")
 }
 
 // Yield reschedules the Proc at the current instant, letting other runnable

@@ -28,6 +28,7 @@ func (m *Mutex) Lock(p *Proc) {
 	m.Acquisitions++
 	if m.owner == nil {
 		m.owner = p
+		p.k.emit(ProbeAcquire, WaitMutex, m.name, p, nil, 0)
 		return
 	}
 	if m.owner == p {
@@ -35,7 +36,7 @@ func (m *Mutex) Lock(p *Proc) {
 	}
 	m.Contended++
 	m.waiters = append(m.waiters, p)
-	p.park("mutex " + m.name)
+	p.park(WaitMutex, m.name)
 }
 
 // TryLock acquires m if it is free and reports whether it succeeded.
@@ -45,6 +46,7 @@ func (m *Mutex) TryLock(p *Proc) bool {
 	}
 	m.Acquisitions++
 	m.owner = p
+	p.k.emit(ProbeAcquire, WaitMutex, m.name, p, nil, 0)
 	return true
 }
 
@@ -53,6 +55,7 @@ func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic(fmt.Sprintf("sim: Unlock of %s by non-owner %s", m.name, p.name))
 	}
+	p.k.emit(ProbeRelease, WaitMutex, m.name, p, nil, 0)
 	if len(m.waiters) == 0 {
 		m.owner = nil
 		return
@@ -60,6 +63,9 @@ func (m *Mutex) Unlock(p *Proc) {
 	next := m.waiters[0]
 	m.waiters = m.waiters[1:]
 	m.owner = next
+	// FIFO handoff: ownership transfers at the release instant, and the
+	// releaser is the causal source of the waiter's wake-up.
+	p.k.emit(ProbeAcquire, WaitMutex, m.name, next, p, 0)
 	p.k.schedule(p.k.now, next)
 }
 
@@ -94,11 +100,12 @@ func (rw *RWMutex) RLock(p *Proc) {
 	rw.Acquisitions++
 	if rw.writer == nil && len(rw.waiters) == 0 {
 		rw.readers++
+		p.k.emit(ProbeAcquire, WaitRWRead, rw.name, p, nil, 0)
 		return
 	}
 	rw.Contended++
 	rw.waiters = append(rw.waiters, rwWaiter{p, false})
-	p.park("rwmutex(r) " + rw.name)
+	p.park(WaitRWRead, rw.name)
 }
 
 // RUnlock releases a read hold.
@@ -107,6 +114,7 @@ func (rw *RWMutex) RUnlock(p *Proc) {
 		panic("sim: RUnlock of " + rw.name + " with no readers")
 	}
 	rw.readers--
+	p.k.emit(ProbeRelease, WaitRWRead, rw.name, p, nil, 0)
 	if rw.readers == 0 {
 		rw.dispatch(p)
 	}
@@ -117,11 +125,12 @@ func (rw *RWMutex) Lock(p *Proc) {
 	rw.Acquisitions++
 	if rw.writer == nil && rw.readers == 0 && len(rw.waiters) == 0 {
 		rw.writer = p
+		p.k.emit(ProbeAcquire, WaitRWWrite, rw.name, p, nil, 0)
 		return
 	}
 	rw.Contended++
 	rw.waiters = append(rw.waiters, rwWaiter{p, true})
-	p.park("rwmutex(w) " + rw.name)
+	p.park(WaitRWWrite, rw.name)
 }
 
 // Unlock releases the write hold.
@@ -130,6 +139,7 @@ func (rw *RWMutex) Unlock(p *Proc) {
 		panic("sim: Unlock of " + rw.name + " by non-writer")
 	}
 	rw.writer = nil
+	p.k.emit(ProbeRelease, WaitRWWrite, rw.name, p, nil, 0)
 	rw.dispatch(p)
 }
 
@@ -143,6 +153,7 @@ func (rw *RWMutex) dispatch(p *Proc) {
 		next := rw.waiters[0].p
 		rw.waiters = rw.waiters[1:]
 		rw.writer = next
+		p.k.emit(ProbeAcquire, WaitRWWrite, rw.name, next, p, 0)
 		p.k.schedule(p.k.now, next)
 		return
 	}
@@ -150,6 +161,7 @@ func (rw *RWMutex) dispatch(p *Proc) {
 		next := rw.waiters[0].p
 		rw.waiters = rw.waiters[1:]
 		rw.readers++
+		p.k.emit(ProbeAcquire, WaitRWRead, rw.name, next, p, 0)
 		p.k.schedule(p.k.now, next)
 	}
 }
@@ -198,11 +210,12 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	}
 	if len(r.waitq) == 0 && r.inUse+n <= r.cap {
 		r.take(n)
+		p.k.emit(ProbeAcquire, WaitResource, r.name, p, nil, n)
 		return
 	}
 	r.Waits++
 	r.waitq = append(r.waitq, resWaiter{p, n})
-	p.park("resource " + r.name)
+	p.park(WaitResource, r.name)
 }
 
 // Release returns n units and admits queued waiters in FIFO order.
@@ -211,10 +224,12 @@ func (r *Resource) Release(p *Proc, n int64) {
 	if r.inUse < 0 {
 		panic("sim: over-release of " + r.name)
 	}
+	p.k.emit(ProbeRelease, WaitResource, r.name, p, nil, n)
 	for len(r.waitq) > 0 && r.inUse+r.waitq[0].n <= r.cap {
 		w := r.waitq[0]
 		r.waitq = r.waitq[1:]
 		r.take(w.n)
+		p.k.emit(ProbeAcquire, WaitResource, r.name, w.p, p, w.n)
 		p.k.schedule(p.k.now, w.p)
 	}
 }
@@ -259,6 +274,7 @@ func (wg *WaitGroup) Done(p *Proc) {
 	}
 	if wg.count == 0 {
 		for _, w := range wg.waiters {
+			p.k.emit(ProbeWake, WaitWG, "", w, p, 0)
 			p.k.schedule(p.k.now, w)
 		}
 		wg.waiters = nil
@@ -271,7 +287,7 @@ func (wg *WaitGroup) Wait(p *Proc) {
 		return
 	}
 	wg.waiters = append(wg.waiters, p)
-	p.park("waitgroup")
+	p.park(WaitWG, "")
 }
 
 // Event is a one-shot broadcast: once fired, all current and future Await
@@ -296,14 +312,17 @@ func newEvent(k *Kernel) *Event { return &Event{k: k} }
 func (e *Event) Fired() bool { return e.fired }
 
 // Fire marks the event fired and wakes all waiters. Firing twice is a no-op.
-func (e *Event) Fire(p *Proc) { e.fire() }
+func (e *Event) Fire(p *Proc) { e.fireBy(p) }
 
-func (e *Event) fire() {
+// fireBy fires the event attributing the wakeups to waker (nil when fired
+// from outside the simulation).
+func (e *Event) fireBy(waker *Proc) {
 	if e.fired {
 		return
 	}
 	e.fired = true
 	for _, w := range e.waiters {
+		e.k.emit(ProbeWake, WaitEvent, e.name, w, waker, 0)
 		e.k.schedule(e.k.now, w)
 	}
 	e.waiters = nil
@@ -315,7 +334,7 @@ func (e *Event) Await(p *Proc) {
 		return
 	}
 	e.waiters = append(e.waiters, p)
-	p.park("event " + e.name)
+	p.park(WaitEvent, e.name)
 }
 
 // Queue is an unbounded FIFO channel between simulated threads.
@@ -338,6 +357,7 @@ func (q *Queue[T]) Push(p *Proc, v T) {
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
 		p.k.schedule(p.k.now, w)
 	}
 }
@@ -347,6 +367,7 @@ func (q *Queue[T]) Push(p *Proc, v T) {
 func (q *Queue[T]) Close(p *Proc) {
 	q.closed = true
 	for _, w := range q.waiters {
+		p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
 		p.k.schedule(p.k.now, w)
 	}
 	q.waiters = nil
@@ -361,7 +382,7 @@ func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
 			return zero, false
 		}
 		q.waiters = append(q.waiters, p)
-		p.park("queue " + q.name)
+		p.park(WaitQueue, q.name)
 	}
 	v = q.items[0]
 	q.items = q.items[1:]

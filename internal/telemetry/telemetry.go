@@ -99,6 +99,18 @@ func (r *Recorder) Containers() []int {
 	return ids
 }
 
+// Start returns container id's recorded start mark.
+func (r *Recorder) Start(container int) (time.Duration, bool) {
+	s, ok := r.starts[container]
+	return s, ok
+}
+
+// End returns container id's recorded completion mark.
+func (r *Recorder) End(container int) (time.Duration, bool) {
+	e, ok := r.ends[container]
+	return e, ok
+}
+
 // Total returns container id's end-to-end startup time, or 0 if incomplete.
 func (r *Recorder) Total(container int) time.Duration {
 	s, okS := r.starts[container]
@@ -298,6 +310,11 @@ func (r *Recorder) Timeline(width, maxRows int) string {
 		}
 		return c
 	}
+	// colEnd is the exclusive column bound of a span end: unclamped, so a
+	// span ending at the makespan owns the final column.
+	colEnd := func(t time.Duration) int {
+		return int(int64(t) * int64(width) / int64(makespan))
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline: %d containers, makespan %v, '·'=waiting\n", len(ids), makespan.Round(time.Millisecond))
 	for i := 0; i < len(ids); i += step {
@@ -323,7 +340,15 @@ func (r *Recorder) Timeline(width, maxRows int) string {
 			if !ok {
 				g = '?'
 			}
-			for j := col(sp.Start); j <= col(sp.End) && j < width; j++ {
+			// Half-open drawing: a span owns [col(Start), col(End)), so
+			// adjacent stages never clobber each other's closing column
+			// regardless of recording order. Sub-column spans keep one
+			// glyph so short stages stay visible.
+			lo, hi := col(sp.Start), colEnd(sp.End)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for j := lo; j < hi && j < width; j++ {
 				row[j] = g
 			}
 		}

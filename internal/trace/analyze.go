@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// lockKey identifies one contended primitive. RWMutex read and write sides
+// profile separately (they have different hold semantics).
+type lockKey struct {
+	class sim.WaitClass
+	obj   string
+}
+
+// Histogram buckets a duration distribution into decades:
+// <1µs, <10µs, <100µs, <1ms, <10ms, <100ms, <1s, <10s, ≥10s.
+type Histogram struct {
+	Counts [9]int
+}
+
+// histBounds are the exclusive upper bounds of the first eight buckets.
+var histBounds = [8]time.Duration{
+	time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second, 10 * time.Second,
+}
+
+// Add counts one duration.
+func (h *Histogram) Add(d time.Duration) {
+	for i, bound := range histBounds {
+		if d < bound {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// String renders the bucket counts as "a|b|...|i" (decade buckets from <1µs
+// to ≥10s).
+func (h Histogram) String() string {
+	s := ""
+	for i, c := range h.Counts {
+		if i > 0 {
+			s += "|"
+		}
+		s += fmt.Sprint(c)
+	}
+	return s
+}
+
+// Blocker is one proc's share of the wait time behind a lock.
+type Blocker struct {
+	Proc int
+	Name string
+	Wait time.Duration // wait time of intervals this proc ended
+}
+
+// LockStat is the contention profile of one primitive: how often and how
+// long procs waited for it, how long holders kept it, how deep its wait
+// queue grew, and who the waiters were waiting on.
+type LockStat struct {
+	Class sim.WaitClass
+	Obj   string
+
+	Acquires  int // successful acquisitions (immediate + after a wait)
+	Waits     int // acquisitions that had to block
+	TotalWait time.Duration
+	MaxWait   time.Duration
+	WaitHist  Histogram
+
+	Holds     int // completed hold intervals
+	TotalHold time.Duration
+	MaxHold   time.Duration
+	HoldHist  Histogram
+
+	MaxQueue int // deepest observed wait queue
+
+	// blockedBy attributes each completed wait to the proc whose release
+	// (or wake) ended it.
+	blockedBy map[int]time.Duration
+}
+
+// Name renders the primitive as "class obj" (e.g. "mutex vfio-devset-1").
+func (s *LockStat) Name() string {
+	if s.Obj == "" {
+		return s.Class.String()
+	}
+	return s.Class.String() + " " + s.Obj
+}
+
+// MeanWait returns the average blocking wait (0 when never contended).
+func (s *LockStat) MeanWait() time.Duration {
+	if s.Waits == 0 {
+		return 0
+	}
+	return s.TotalWait / time.Duration(s.Waits)
+}
+
+// MeanHold returns the average hold time (0 when never held).
+func (s *LockStat) MeanHold() time.Duration {
+	if s.Holds == 0 {
+		return 0
+	}
+	return s.TotalHold / time.Duration(s.Holds)
+}
+
+// TopBlockers returns the k procs responsible for the most wait time behind
+// this primitive, by attributed release/wake causality.
+func (s *LockStat) TopBlockers(t *Trace, k int) []Blocker {
+	out := make([]Blocker, 0, len(s.blockedBy))
+	for id, w := range s.blockedBy {
+		out = append(out, Blocker{Proc: id, Name: t.ProcName(id), Wait: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wait != out[j].Wait {
+			return out[i].Wait > out[j].Wait
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// interval is one closed blocking interval of a proc.
+type interval struct {
+	start, end time.Duration
+	class      sim.WaitClass
+	obj        string
+}
+
+// openWait tracks a proc currently parked.
+type openWait struct {
+	class   sim.WaitClass
+	obj     string
+	start   time.Duration
+	blocker int
+}
+
+// Analysis is the validated, indexed view of a trace: per-proc blocking
+// intervals and per-primitive contention stats. Build one with Analyze and
+// query it with Profile and CriticalPaths.
+type Analysis struct {
+	t       *Trace
+	perProc map[int][]interval
+	locks   map[lockKey]*LockStat
+}
+
+// Analyze replays the event stream, building the per-proc interval index
+// and the per-primitive contention profile. It never panics on arbitrary
+// input: ill-nested streams — a block inside a block, an unblock or release
+// with no matching open, a class/object mismatch, time running backwards —
+// are rejected with an error naming the offending event.
+func Analyze(t *Trace) (*Analysis, error) {
+	a := &Analysis{
+		t:       t,
+		perProc: make(map[int][]interval),
+		locks:   make(map[lockKey]*LockStat),
+	}
+	waiting := make(map[int]*openWait)
+	holds := make(map[lockKey]map[int][]time.Duration)
+	depth := make(map[lockKey]int)
+	var lastAt time.Duration
+
+	stat := func(key lockKey) *LockStat {
+		s := a.locks[key]
+		if s == nil {
+			s = &LockStat{Class: key.class, Obj: key.obj, blockedBy: make(map[int]time.Duration)}
+			a.locks[key] = s
+		}
+		return s
+	}
+
+	for i, e := range t.events {
+		if e.At < lastAt {
+			return nil, fmt.Errorf("trace: event %d: time went backwards (%v after %v)", i, e.At, lastAt)
+		}
+		lastAt = e.At
+		key := lockKey{e.Class, e.Obj}
+		switch e.Kind {
+		case Block:
+			if e.Class == sim.WaitNone {
+				return nil, fmt.Errorf("trace: event %d: proc %d blocks with no wait class", i, e.Proc)
+			}
+			if ow := waiting[e.Proc]; ow != nil {
+				return nil, fmt.Errorf("trace: event %d: proc %d blocks on %s %q while already blocked on %s %q",
+					i, e.Proc, e.Class, e.Obj, ow.class, ow.obj)
+			}
+			waiting[e.Proc] = &openWait{class: e.Class, obj: e.Obj, start: e.At}
+			if e.Class != sim.WaitSleep {
+				s := stat(key)
+				depth[key]++
+				if depth[key] > s.MaxQueue {
+					s.MaxQueue = depth[key]
+				}
+			}
+		case Unblock:
+			ow := waiting[e.Proc]
+			if ow == nil {
+				return nil, fmt.Errorf("trace: event %d: proc %d unblocks without a matching block", i, e.Proc)
+			}
+			if ow.class != e.Class || ow.obj != e.Obj {
+				return nil, fmt.Errorf("trace: event %d: proc %d unblocks from %s %q but blocked on %s %q",
+					i, e.Proc, e.Class, e.Obj, ow.class, ow.obj)
+			}
+			delete(waiting, e.Proc)
+			a.perProc[e.Proc] = append(a.perProc[e.Proc],
+				interval{start: ow.start, end: e.At, class: e.Class, obj: e.Obj})
+			if e.Class != sim.WaitSleep {
+				s := stat(key)
+				depth[key]--
+				d := e.At - ow.start
+				s.Waits++
+				s.TotalWait += d
+				if d > s.MaxWait {
+					s.MaxWait = d
+				}
+				s.WaitHist.Add(d)
+				if ow.blocker != 0 {
+					s.blockedBy[ow.blocker] += d
+				}
+			}
+		case Acquire:
+			s := stat(key)
+			s.Acquires++
+			hp := holds[key]
+			if hp == nil {
+				hp = make(map[int][]time.Duration)
+				holds[key] = hp
+			}
+			hp[e.Proc] = append(hp[e.Proc], e.At)
+			if ow := waiting[e.Proc]; ow != nil && ow.class == e.Class && ow.obj == e.Obj && e.Waker != 0 {
+				ow.blocker = e.Waker
+			}
+		case Release:
+			hp := holds[key]
+			if hp == nil || len(hp[e.Proc]) == 0 {
+				return nil, fmt.Errorf("trace: event %d: proc %d releases %s %q without holding it",
+					i, e.Proc, e.Class, e.Obj)
+			}
+			stack := hp[e.Proc]
+			start := stack[len(stack)-1]
+			hp[e.Proc] = stack[:len(stack)-1]
+			s := stat(key)
+			d := e.At - start
+			s.Holds++
+			s.TotalHold += d
+			if d > s.MaxHold {
+				s.MaxHold = d
+			}
+			s.HoldHist.Add(d)
+		case Wake:
+			if ow := waiting[e.Proc]; ow != nil && ow.class == e.Class && ow.obj == e.Obj && e.Waker != 0 {
+				ow.blocker = e.Waker
+			}
+		}
+	}
+	return a, nil
+}
+
+// Profile returns the contention profile, worst first: descending total
+// wait, then descending total hold, then name. Primitives that were
+// acquired but never waited on still appear (with zero wait columns).
+func (a *Analysis) Profile() []*LockStat {
+	out := make([]*LockStat, 0, len(a.locks))
+	for _, s := range a.locks {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalWait != out[j].TotalWait {
+			return out[i].TotalWait > out[j].TotalWait
+		}
+		if out[i].TotalHold != out[j].TotalHold {
+			return out[i].TotalHold > out[j].TotalHold
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"fastiov/internal/sim"
+	"fastiov/internal/telemetry"
+)
+
+// chromeEvent is one Chrome trace-event object. Timestamps and durations
+// are microseconds (float, so sub-µs simulation costs survive).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+const chromePID = 1 // single simulated host
+
+func us(d sim.Duration) float64 { return float64(d) / 1e3 }
+
+func durp(d sim.Duration) *float64 {
+	v := us(d)
+	return &v
+}
+
+// WriteChrome exports the analyzed trace as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Procs render
+// as threads; sleeps, waits, and telemetry stage spans render as complete
+// ("X") events. rec may be nil to omit stage spans. The output is a pure
+// function of its inputs: metadata first, then per-proc events in proc-id
+// order, one JSON object per line, so seed-fixed reruns are byte-identical.
+func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder) error {
+	var events []chromeEvent
+
+	ids := make([]int, 0, len(a.t.names))
+	for id := range a.t.names {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]string{"name": "fastiov-sim"},
+	})
+	for _, id := range ids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: id,
+			Args: map[string]string{"name": a.t.ProcName(id)},
+		})
+	}
+
+	// Stage spans from the telemetry recorder, drawn on the thread of the
+	// container's driving proc.
+	if rec != nil && bind != nil {
+		procOf := make(map[int]int)
+		for id, name := range a.t.names {
+			if ctr, ok := bind(name); ok {
+				procOf[ctr] = id
+			}
+		}
+		for _, sp := range rec.Spans() {
+			tid, ok := procOf[sp.Container]
+			if !ok {
+				continue
+			}
+			events = append(events, chromeEvent{
+				Name: string(sp.Stage), Cat: "stage", Ph: "X",
+				TS: us(sp.Start), Dur: durp(sp.End - sp.Start),
+				PID: chromePID, TID: tid,
+			})
+		}
+	}
+
+	// Blocking intervals: sleeps are the proc doing simulated work, the
+	// rest are waits on a named primitive.
+	for _, id := range ids {
+		for _, iv := range a.perProc[id] {
+			ev := chromeEvent{
+				Ph: "X", TS: us(iv.start), Dur: durp(iv.end - iv.start),
+				PID: chromePID, TID: id,
+			}
+			if iv.class == sim.WaitSleep {
+				ev.Name, ev.Cat = "service", "service"
+			} else {
+				ev.Name = "wait " + (&LockStat{Class: iv.class, Obj: iv.obj}).Name()
+				ev.Cat = "wait"
+			}
+			events = append(events, ev)
+		}
+	}
+
+	// One object per line keeps diffs (and golden files) reviewable.
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

@@ -1,0 +1,134 @@
+// Package trace is an event-sourced tracing subsystem for the simulation
+// kernel: a probe hook records every scheduler and primitive transition
+// (spawn/exit, park/unpark, lock acquire/release, wake-up causality) as a
+// flat event stream, and analyses over that stream answer the questions
+// per-stage telemetry cannot — which lock a slow container was blocked on
+// (contention profile), what its critical path decomposed into
+// (service / blocked-on-X / runnable), and what the whole run looked like
+// (Chrome trace-event export, loadable in Perfetto).
+//
+// Tracing is strictly opt-in: with no probe installed the kernel's
+// emission sites cost one nil check each, and traced runs produce
+// byte-identical experiment output to untraced runs — traces are carried
+// out of band and only join the determinism fingerprint.
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// Kind mirrors sim.ProbeKind in the recorded stream.
+type Kind = sim.ProbeKind
+
+// Re-exported kinds, so analyses and tests need not import sim.
+const (
+	Spawn   = sim.ProbeSpawn
+	Exit    = sim.ProbeExit
+	Block   = sim.ProbeBlock
+	Unblock = sim.ProbeUnblock
+	Acquire = sim.ProbeAcquire
+	Release = sim.ProbeRelease
+	Wake    = sim.ProbeWake
+)
+
+// Event is one recorded transition. Procs are identified by their stable
+// kernel id (spawn order, starting at 1); Waker is 0 when the transition
+// has no causal source.
+type Event struct {
+	At    time.Duration
+	Kind  Kind
+	Class sim.WaitClass
+	Obj   string
+	Proc  int
+	Waker int
+	N     int64
+}
+
+// Trace is a recorded event stream plus the proc-id → name table.
+type Trace struct {
+	events []Event
+	names  map[int]string
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{names: make(map[int]string)} }
+
+// Attach creates a trace and installs its probe on k. Must be called
+// before any simulated work runs so proc names are captured at spawn.
+func Attach(k *sim.Kernel) *Trace {
+	t := New()
+	k.SetProbe(t.observe)
+	return t
+}
+
+// observe is the kernel probe: it copies the transition into the stream,
+// resolving Proc pointers to ids. It runs under the execution baton, so
+// appends are single-threaded and the stream order is the deterministic
+// execution order.
+func (t *Trace) observe(at sim.Duration, ev sim.ProbeEvent) {
+	e := Event{At: at, Kind: ev.Kind, Class: ev.Class, Obj: ev.Obj, N: ev.N}
+	if ev.Proc != nil {
+		e.Proc = ev.Proc.ID()
+		if _, ok := t.names[e.Proc]; !ok {
+			t.names[e.Proc] = ev.Proc.Name()
+		}
+	}
+	if ev.Waker != nil {
+		e.Waker = ev.Waker.ID()
+	}
+	t.events = append(t.events, e)
+}
+
+// FromEvents builds a trace from a raw stream (tests and fuzzing). names
+// may be nil.
+func FromEvents(events []Event, names map[int]string) *Trace {
+	t := New()
+	t.events = append(t.events, events...)
+	for id, name := range names {
+		t.names[id] = name
+	}
+	return t
+}
+
+// Events returns the recorded stream (not a copy).
+func (t *Trace) Events() []Event { return t.events }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.events) }
+
+// ProcName returns the recorded name of proc id ("proc-<id>" if unseen).
+func (t *Trace) ProcName(id int) string {
+	if name, ok := t.names[id]; ok {
+		return name
+	}
+	return fmt.Sprintf("proc-%d", id)
+}
+
+// AppendCanonical appends a canonical byte encoding of the stream to b: one
+// line per event in recorded order. Two runs of the same seeded simulation
+// must produce identical bytes.
+func (t *Trace) AppendCanonical(b []byte) []byte {
+	for _, e := range t.events {
+		b = fmt.Appendf(b, "%d %s %s %q p%d w%d n%d\n",
+			e.At, e.Kind, e.Class, e.Obj, e.Proc, e.Waker, e.N)
+	}
+	return b
+}
+
+// Fingerprint hashes the canonical encoding (FNV-1a). Determinism
+// verification folds this into the run fingerprint instead of the full
+// stream, which for a 200-container run is tens of megabytes.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 64)
+	for _, e := range t.events {
+		buf = fmt.Appendf(buf[:0], "%d %s %s %q p%d w%d n%d\n",
+			e.At, e.Kind, e.Class, e.Obj, e.Proc, e.Waker, e.N)
+		h.Write(buf)
+	}
+	return h.Sum64()
+}

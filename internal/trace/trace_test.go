@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"fastiov/internal/sim"
+	"fastiov/internal/telemetry"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+// contendedRun drives two procs through one mutex: "a" holds m for 10ms
+// while "b" waits, then "b" holds for 5ms.
+func contendedRun(t *testing.T) *Trace {
+	t.Helper()
+	k := sim.NewKernel(1)
+	tr := Attach(k)
+	m := sim.NewMutex("m")
+	body := func(hold time.Duration) func(*sim.Proc) {
+		return func(p *sim.Proc) {
+			m.Lock(p)
+			p.Sleep(hold)
+			m.Unlock(p)
+		}
+	}
+	k.Go("a", body(ms(10)))
+	k.Go("b", body(ms(5)))
+	k.Run()
+	return tr
+}
+
+func TestProfileContendedMutex(t *testing.T) {
+	tr := contendedRun(t)
+	a, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := a.Profile()
+	if len(profile) == 0 {
+		t.Fatal("empty profile")
+	}
+	s := profile[0]
+	if s.Name() != "mutex m" {
+		t.Fatalf("top lock = %q, want 'mutex m'", s.Name())
+	}
+	if s.Acquires != 2 || s.Waits != 1 {
+		t.Errorf("acquires=%d waits=%d, want 2/1", s.Acquires, s.Waits)
+	}
+	if s.TotalWait != ms(10) || s.MaxWait != ms(10) {
+		t.Errorf("wait total=%v max=%v, want 10ms/10ms", s.TotalWait, s.MaxWait)
+	}
+	if s.Holds != 2 || s.TotalHold != ms(15) {
+		t.Errorf("holds=%d total=%v, want 2/15ms", s.Holds, s.TotalHold)
+	}
+	if s.MaxQueue != 1 {
+		t.Errorf("max queue = %d, want 1", s.MaxQueue)
+	}
+	top := s.TopBlockers(tr, 3)
+	if len(top) != 1 || top[0].Name != "a" || top[0].Wait != ms(10) {
+		t.Errorf("top blockers = %+v, want [{a 10ms}]: the releaser is the causal source", top)
+	}
+}
+
+func TestResourceCausality(t *testing.T) {
+	k := sim.NewKernel(1)
+	tr := Attach(k)
+	r := sim.NewResource("cap", 1)
+	k.Go("first", func(p *sim.Proc) { r.Use(p, 1, ms(8)) })
+	k.Go("second", func(p *sim.Proc) { r.Use(p, 1, ms(1)) })
+	k.Run()
+	a, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s *LockStat
+	for _, c := range a.Profile() {
+		if c.Name() == "resource cap" {
+			s = c
+		}
+	}
+	if s == nil {
+		t.Fatal("resource cap not profiled")
+	}
+	if s.Waits != 1 || s.TotalWait != ms(8) {
+		t.Errorf("waits=%d total=%v, want 1/8ms", s.Waits, s.TotalWait)
+	}
+	if top := s.TopBlockers(tr, 1); len(top) != 1 || top[0].Name != "first" {
+		t.Errorf("top blockers = %+v, want the first holder", top)
+	}
+}
+
+func TestHistogramDecades(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{500 * time.Nanosecond, ms(5), ms(50), 20 * time.Second} {
+		h.Add(d)
+	}
+	want := "1|0|0|0|1|1|0|0|1"
+	if h.String() != want {
+		t.Errorf("histogram = %s, want %s", h, want)
+	}
+}
+
+func TestDefaultBinder(t *testing.T) {
+	cases := []struct {
+		name string
+		ctr  int
+		ok   bool
+	}{
+		{"ctr-0", 0, true},
+		{"ctr-173", 173, true},
+		{"task-9", 9, true},
+		{"vf-init-3", 0, false},
+		{"fastiovd-scrub", 0, false},
+		{"ctr-x", 0, false},
+	}
+	for _, c := range cases {
+		ctr, ok := DefaultBinder(c.name)
+		if ctr != c.ctr || ok != c.ok {
+			t.Errorf("DefaultBinder(%q) = (%d, %v), want (%d, %v)", c.name, ctr, ok, c.ctr, c.ok)
+		}
+	}
+}
+
+// criticalRun models one container: 5ms of work, then a 15ms wait behind a
+// holder that keeps the lock until t=20ms.
+func criticalRun(t *testing.T) (*Trace, *telemetry.Recorder) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	tr := Attach(k)
+	rec := telemetry.NewRecorder()
+	m := sim.NewMutex("m")
+	k.Go("holder", func(p *sim.Proc) {
+		m.Lock(p)
+		p.Sleep(ms(20))
+		m.Unlock(p)
+	})
+	k.Go("ctr-0", func(p *sim.Proc) {
+		rec.MarkStart(0, p.Now())
+		p.Sleep(ms(5))
+		m.Lock(p)
+		m.Unlock(p)
+		rec.MarkEnd(0, p.Now())
+	})
+	k.Run()
+	return tr, rec
+}
+
+func TestCriticalPathDecomposition(t *testing.T) {
+	tr, rec := criticalRun(t)
+	a, err := Analyze(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := a.CriticalPaths(rec, DefaultBinder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d decompositions, want 1", len(paths))
+	}
+	d := paths[0]
+	if d.Container != 0 || d.Total != ms(20) {
+		t.Fatalf("container=%d total=%v, want 0/20ms", d.Container, d.Total)
+	}
+	if d.Service != ms(5) {
+		t.Errorf("service = %v, want 5ms", d.Service)
+	}
+	if d.Blocked["mutex m"] != ms(15) {
+		t.Errorf("blocked on mutex m = %v, want 15ms", d.Blocked["mutex m"])
+	}
+	if d.Runnable != 0 {
+		t.Errorf("runnable = %v, want 0 (instantaneous wakeups in the DES)", d.Runnable)
+	}
+	if got := d.Service + d.BlockedTotal() + d.Runnable; got != d.Total {
+		t.Errorf("components sum to %v, want exactly %v", got, d.Total)
+	}
+	sum := Summarize(paths)
+	if sum.Containers != 1 || sum.MeanTotal != ms(20) || len(sum.Targets) != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestVerifyCriticalPaths(t *testing.T) {
+	tr, rec := criticalRun(t)
+	if err := VerifyCriticalPaths(tr, rec, DefaultBinder); err != nil {
+		t.Fatal(err)
+	}
+	// A completed container with no bound proc must be diagnosed.
+	rec.MarkStart(7, 0)
+	rec.MarkEnd(7, ms(1))
+	if err := VerifyCriticalPaths(tr, rec, DefaultBinder); err == nil {
+		t.Error("unbound completed container passed verification")
+	}
+}
+
+// TestAnalyzeRejectsIllNested pins the analyzer's validation: each
+// malformed stream is rejected with an error, never a panic.
+func TestAnalyzeRejectsIllNested(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+	}{
+		{"block while blocked", []Event{
+			{Kind: Block, Class: sim.WaitMutex, Obj: "m", Proc: 1},
+			{Kind: Block, Class: sim.WaitMutex, Obj: "n", Proc: 1},
+		}},
+		{"unblock without block", []Event{
+			{Kind: Unblock, Class: sim.WaitMutex, Obj: "m", Proc: 1},
+		}},
+		{"unblock target mismatch", []Event{
+			{Kind: Block, Class: sim.WaitMutex, Obj: "m", Proc: 1},
+			{Kind: Unblock, Class: sim.WaitQueue, Obj: "q", Proc: 1},
+		}},
+		{"release without hold", []Event{
+			{Kind: Release, Class: sim.WaitMutex, Obj: "m", Proc: 1},
+		}},
+		{"block with no class", []Event{
+			{Kind: Block, Proc: 1},
+		}},
+		{"time backwards", []Event{
+			{At: ms(5), Kind: Block, Class: sim.WaitMutex, Obj: "m", Proc: 1},
+			{At: ms(1), Kind: Unblock, Class: sim.WaitMutex, Obj: "m", Proc: 1},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Analyze(FromEvents(c.events, nil)); err == nil {
+			t.Errorf("%s: analyzer accepted an ill-nested stream", c.name)
+		}
+	}
+}
+
+func TestCanonicalAndFingerprintDeterministic(t *testing.T) {
+	t1, t2 := contendedRun(t), contendedRun(t)
+	b1, b2 := t1.AppendCanonical(nil), t2.AppendCanonical(nil)
+	if !bytes.Equal(b1, b2) {
+		t.Error("two identical seeded runs produced different canonical streams")
+	}
+	if t1.Fingerprint() != t2.Fingerprint() {
+		t.Error("fingerprints diverge across identical runs")
+	}
+	if t1.Len() == 0 {
+		t.Error("no events recorded")
+	}
+}
+
+func TestWriteChromeValidAndDeterministic(t *testing.T) {
+	render := func() []byte {
+		tr, rec := criticalRun(t)
+		a, err := Analyze(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, a, rec, DefaultBinder); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	b1, b2 := render(), render()
+	if !bytes.Equal(b1, b2) {
+		t.Error("Chrome export is not byte-deterministic across identical runs")
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b1, &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var waits, stages int
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			t.Fatalf("event missing name/ph: %+v", ev)
+		}
+		if ev.Ph == "X" && (ev.TS < 0 || ev.Dur < 0) {
+			t.Fatalf("negative ts/dur: %+v", ev)
+		}
+		if ev.Name == "wait mutex m" {
+			waits++
+		}
+		if ev.Name == string(telemetry.StageCgroup) {
+			stages++
+		}
+	}
+	if waits == 0 {
+		t.Error("no wait events exported")
+	}
+}

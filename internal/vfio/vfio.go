@@ -207,7 +207,7 @@ func (d *Driver) Register(pdev *pci.Device) (*Device, error) {
 	vd := &Device{
 		PDev:       pdev,
 		Set:        set,
-		mu:         sim.NewMutex(fmt.Sprintf("vfio-dev-%s", pdev.Addr)),
+		mu:         sim.NewMutex(fmt.Sprintf("%s%s", DevLockPrefix, pdev.Addr)),
 		dmaRegions: make(map[int64]*hostmem.Region),
 	}
 	set.devices = append(set.devices, vd)
@@ -218,12 +218,20 @@ func (d *Driver) Register(pdev *pci.Device) (*Device, error) {
 	return vd, nil
 }
 
+// DevsetLockPrefix prefixes the sim-lock name of every devset-wide
+// primitive ("vfio-devset-<id>"). Trace consumers (the contention
+// experiment) match on it to attribute wait time to devset serialization.
+const DevsetLockPrefix = "vfio-devset-"
+
+// DevLockPrefix prefixes per-device lock names ("vfio-dev-<addr>").
+const DevLockPrefix = "vfio-dev-"
+
 func (d *Driver) newSet() *DevSet {
 	d.nextSet++
 	return &DevSet{
 		ID:     d.nextSet,
-		global: sim.NewMutex(fmt.Sprintf("vfio-devset-%d", d.nextSet)),
-		rw:     sim.NewRWMutex(fmt.Sprintf("vfio-devset-%d", d.nextSet)),
+		global: sim.NewMutex(fmt.Sprintf("%s%d", DevsetLockPrefix, d.nextSet)),
+		rw:     sim.NewRWMutex(fmt.Sprintf("%s%d", DevsetLockPrefix, d.nextSet)),
 	}
 }
 
