@@ -8,7 +8,8 @@
 //	fastiov-bench -experiment fig12 -csv
 //	fastiov-bench -experiment all -workers 8 -seeds 5
 //	fastiov-bench -experiment all -verify-determinism
-//	fastiov-bench -experiment tab1 -faults "vfio-reset:p=0.1;dma-map:every=5"
+//	fastiov-bench -experiment tab1 -faults "vfio-reset:p=0.1;crash@dma:p=0.2"
+//	fastiov-bench -experiment recovery
 //	fastiov-bench -contention -n 100
 //	fastiov-bench -trace out.json -n 50
 //
@@ -19,8 +20,15 @@
 // 1..K and reports scalar metrics as mean ±95% CI; -verify-determinism runs
 // every simulation twice and every experiment both parallel and serial,
 // failing on any byte-level divergence; -faults injects a deterministic
-// fault plan (site:key=value clauses; see EXPERIMENTS.md) into every
-// experiment.
+// fault plan (site:key=value clauses, including crash@<stage> startup
+// aborts; see EXPERIMENTS.md) into every experiment that does not sweep
+// its own plans (chaos and recovery pin theirs).
+//
+// Every harness run is leak-audited: after measurement the surviving
+// sandboxes are stopped and the host's conservation counters (free VFs,
+// pages, IOMMU mappings, devset opens, vhost registrations) are diffed
+// against the boot baseline. A dirty audit fails the experiment with the
+// full counter diff.
 package main
 
 import (

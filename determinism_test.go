@@ -65,9 +65,11 @@ func TestExperimentDeterminism(t *testing.T) {
 }
 
 // faultSpec is a non-trivial plan exercising every injection mechanism:
-// probabilistic failures, scripted every-Nth failures, and latency
-// inflation, across five of the six sites.
-const faultSpec = "cni-add:p=0.05;dma-map:every=5;mem-bw:lat=1.4;scrubber:p=0.3,lat=2;vfio-reset:p=0.08"
+// probabilistic failures, scripted every-Nth failures, latency inflation,
+// and deterministic crash@<stage> startup aborts (which force the
+// compensating-rollback path — and, because every harness run is
+// leak-audited, prove registry-wide that rollback strands nothing).
+const faultSpec = "cni-add:p=0.05;crash@boot:every=9;crash@dma:every=6;dma-map:every=5;mem-bw:lat=1.4;scrubber:p=0.3,lat=2;vfio-reset:p=0.08"
 
 // runFaultedAt is runAt with the fault plan installed suite-wide.
 func runFaultedAt(t *testing.T, id string, seed uint64) []byte {
@@ -257,6 +259,54 @@ func TestTracedCriticalPathIdentity(t *testing.T) {
 			if d.Runnable != 0 {
 				t.Errorf("%s ctr %d: runnable = %v, want 0 (DES wakeups are instantaneous)",
 					baseline, d.Container, d.Runnable)
+			}
+		}
+	}
+}
+
+// TestAuditIsTransparent is the acceptance property of the leak-audit
+// layer: enabling Options.Audit on a fault-free run must not move a single
+// byte of the measured output — the teardown phase runs after every
+// telemetry mark, consumes no randomness, and (on traced runs) detaches
+// the probe first, so the recorder, totals, and trace fingerprint are
+// identical with auditing on or off. Only Result.Leaks appears, and it must
+// be clean.
+func TestAuditIsTransparent(t *testing.T) {
+	for _, baseline := range []string{fastiov.BaselineVanilla, fastiov.BaselineFastIOV, fastiov.BaselineRebind} {
+		for _, traced := range []bool{false, true} {
+			run := func(auditOn bool) *fastiov.Result {
+				opts, err := fastiov.OptionsFor(baseline)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Seed = 7
+				opts.Trace = traced
+				opts.Audit = auditOn
+				h, err := fastiov.NewHost(fastiov.DefaultHostSpec(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := h.StartupExperiment(testConcurrency)
+				if res.Err != nil {
+					t.Fatalf("%s traced=%v audit=%v: %v", baseline, traced, auditOn, res.Err)
+				}
+				return res
+			}
+			plain, audited := run(false), run(true)
+			if a, b := plain.Recorder.AppendCanonical(nil), audited.Recorder.AppendCanonical(nil); !bytes.Equal(a, b) {
+				t.Errorf("%s traced=%v: auditing moved the telemetry record", baseline, traced)
+			}
+			if traced {
+				if plain.Trace.Len() != audited.Trace.Len() || plain.Trace.Fingerprint() != audited.Trace.Fingerprint() {
+					t.Errorf("%s: auditing moved the trace stream: %d/%016x vs %d/%016x", baseline,
+						plain.Trace.Len(), plain.Trace.Fingerprint(), audited.Trace.Len(), audited.Trace.Fingerprint())
+				}
+			}
+			if plain.Leaks != nil {
+				t.Errorf("%s traced=%v: unaudited run populated Leaks", baseline, traced)
+			}
+			if audited.Leaks == nil || !audited.Leaks.Clean() {
+				t.Errorf("%s traced=%v: audited run not clean: %v", baseline, traced, audited.Leaks)
 			}
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"fastiov/internal/audit"
 	"fastiov/internal/cluster"
 	"fastiov/internal/experiments"
 	"fastiov/internal/fault"
@@ -45,6 +46,11 @@ type (
 	Report = experiments.Report
 	// App is a serverless benchmark descriptor.
 	App = serverless.App
+	// LeakReport is a host-wide conservation audit: the counter diff between
+	// a host's boot baseline and its post-experiment state (Result.Leaks).
+	LeakReport = audit.Report
+	// Leak is one leaked conservation counter inside a LeakReport.
+	Leak = audit.Leak
 )
 
 // Re-exported real concurrency primitives.
@@ -151,6 +157,13 @@ type RunConfig struct {
 // limit (max injections), lat (latency multiplier > 0). Example:
 //
 //	vfio-reset:p=0.1;dma-map:every=5,limit=3;mem-bw:lat=1.5
+//
+// Crash points are sites too: crash@<stage> deterministically aborts a
+// container's startup at that stage boundary, exercising the transactional
+// rollback path (stages cni, microvm, vfio-reg, dma, vhost, dev, firmware,
+// boot; lat is not valid for crash sites). Example:
+//
+//	crash@dma:p=0.2;crash@boot:every=7
 func ValidateFaultSpec(spec string) error {
 	_, err := fault.ParsePlan(spec)
 	return err

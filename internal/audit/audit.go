@@ -1,0 +1,176 @@
+// Package audit checks host-wide conservation invariants: every resource a
+// sandbox acquires during startup — VFs, host pages (free and pinned),
+// IOMMU domains and translations, VFIO registrations and device-fd opens,
+// KVM VMs and demand pages, vhost registrations, fastiovd tracking — must
+// return to its pre-run level once every sandbox is stopped or rolled
+// back. A Snapshot captures the counters, Diff reports the violations, and
+// a Report pairs the two for experiment results. Capturing a snapshot
+// reads counters only: it consumes no simulated time and no randomness, so
+// auditing a run cannot change its bytes.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"fastiov/internal/fastiovd"
+	"fastiov/internal/hostmem"
+	"fastiov/internal/hypervisor"
+	"fastiov/internal/iommu"
+	"fastiov/internal/kvm"
+	"fastiov/internal/nic"
+	"fastiov/internal/vfio"
+)
+
+// System bundles the substrates an audit inspects. Nil fields contribute
+// zero to the snapshot (a host without fastiovd, say, trivially conserves
+// its tracking count).
+type System struct {
+	NIC  *nic.NIC
+	Mem  *hostmem.Allocator
+	MMU  *iommu.IOMMU
+	VFIO *vfio.Driver
+	KVM  *kvm.KVM
+	Lazy *fastiovd.Module
+	Env  *hypervisor.Env
+}
+
+// Snapshot is one observation of the host's conservation counters.
+type Snapshot struct {
+	// FreeVFs is the NIC's free virtual-function count.
+	FreeVFs int
+	// FreePages and PinnedPages partition host memory state: a leak shows
+	// up as FreePages down and/or PinnedPages up.
+	FreePages   int64
+	PinnedPages int64
+	// IOMMUDomains and IOMMUMappedPages count live I/O address spaces and
+	// translations.
+	IOMMUDomains     int
+	IOMMUMappedPages int
+	// VFIORegistered counts registered devices; DevsetOpens is the
+	// host-wide sum of device-fd open counts.
+	VFIORegistered int
+	DevsetOpens    int
+	// KVMLiveVMs and KVMDemandPages count microVMs and the demand-faulted
+	// pages backing them.
+	KVMLiveVMs     int
+	KVMDemandPages int
+	// VhostRegistrations counts live vhost device registrations.
+	VhostRegistrations int
+	// LazyTracked counts regions still tracked by fastiovd.
+	LazyTracked int
+}
+
+// Capture reads the counters. Pure observation: no simulated time, no
+// randomness, no state change.
+func Capture(s System) Snapshot {
+	var snap Snapshot
+	if s.NIC != nil {
+		snap.FreeVFs = s.NIC.FreeVFs()
+	}
+	if s.Mem != nil {
+		snap.FreePages = s.Mem.FreePages()
+		snap.PinnedPages = s.Mem.PinnedPages()
+	}
+	if s.MMU != nil {
+		snap.IOMMUDomains = s.MMU.Domains()
+		snap.IOMMUMappedPages = s.MMU.TotalMappedPages()
+	}
+	if s.VFIO != nil {
+		snap.VFIORegistered = s.VFIO.RegisteredCount()
+		snap.DevsetOpens = s.VFIO.TotalOpens()
+	}
+	if s.KVM != nil {
+		snap.KVMLiveVMs = s.KVM.LiveVMs()
+		snap.KVMDemandPages = s.KVM.DemandPages()
+	}
+	if s.Env != nil {
+		snap.VhostRegistrations = s.Env.VhostRegistrations()
+	}
+	if s.Lazy != nil {
+		snap.LazyTracked = s.Lazy.TrackedTotal()
+	}
+	return snap
+}
+
+// Leak is one violated conservation invariant: a counter that did not
+// return to its baseline value.
+type Leak struct {
+	Resource string
+	Before   int64
+	After    int64
+}
+
+// Delta is the leaked amount (after minus before).
+func (l Leak) Delta() int64 { return l.After - l.Before }
+
+func (l Leak) String() string {
+	return fmt.Sprintf("%s: %d -> %d (%+d)", l.Resource, l.Before, l.After, l.Delta())
+}
+
+// Diff compares two snapshots counter by counter and returns one Leak per
+// differing counter, in declaration order (deterministic).
+func Diff(before, after Snapshot) []Leak {
+	counters := []struct {
+		name string
+		b, a int64
+	}{
+		{"free-vfs", int64(before.FreeVFs), int64(after.FreeVFs)},
+		{"free-pages", before.FreePages, after.FreePages},
+		{"pinned-pages", before.PinnedPages, after.PinnedPages},
+		{"iommu-domains", int64(before.IOMMUDomains), int64(after.IOMMUDomains)},
+		{"iommu-mapped-pages", int64(before.IOMMUMappedPages), int64(after.IOMMUMappedPages)},
+		{"vfio-registered", int64(before.VFIORegistered), int64(after.VFIORegistered)},
+		{"devset-opens", int64(before.DevsetOpens), int64(after.DevsetOpens)},
+		{"kvm-live-vms", int64(before.KVMLiveVMs), int64(after.KVMLiveVMs)},
+		{"kvm-demand-pages", int64(before.KVMDemandPages), int64(after.KVMDemandPages)},
+		{"vhost-registrations", int64(before.VhostRegistrations), int64(after.VhostRegistrations)},
+		{"lazy-tracked", int64(before.LazyTracked), int64(after.LazyTracked)},
+	}
+	var leaks []Leak
+	for _, c := range counters {
+		if c.b != c.a {
+			leaks = append(leaks, Leak{Resource: c.name, Before: c.b, After: c.a})
+		}
+	}
+	return leaks
+}
+
+// Report pairs before/after snapshots with their diff.
+type Report struct {
+	Before Snapshot
+	After  Snapshot
+	Leaks  []Leak
+}
+
+// NewReport diffs the snapshots.
+func NewReport(before, after Snapshot) *Report {
+	return &Report{Before: before, After: after, Leaks: Diff(before, after)}
+}
+
+// Clean reports whether every counter returned to baseline (nil-safe: a
+// missing report is treated as unaudited, not clean).
+func (r *Report) Clean() bool { return r != nil && len(r.Leaks) == 0 }
+
+// Count returns the number of leaked counters (0 for nil).
+func (r *Report) Count() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Leaks)
+}
+
+// String renders "clean" or the leak list, one per line.
+func (r *Report) String() string {
+	if r == nil {
+		return "unaudited"
+	}
+	if len(r.Leaks) == 0 {
+		return "clean"
+	}
+	parts := make([]string, len(r.Leaks))
+	for i, l := range r.Leaks {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, "\n")
+}

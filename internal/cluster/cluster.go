@@ -8,10 +8,12 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"fastiov/internal/audit"
 	"fastiov/internal/cni"
 	"fastiov/internal/cri"
 	"fastiov/internal/fastiovd"
@@ -114,6 +116,15 @@ type Options struct {
 	// Retry is the startup path's retry/backoff/timeout policy; the zero
 	// value selects fault.DefaultPolicy. Only exercised when faults fire.
 	Retry fault.Policy
+
+	// Audit makes StartupExperiment stop every surviving sandbox after
+	// measurement and diff the host's conservation counters against the
+	// boot-time baseline, populating Result.Leaks. The teardown runs after
+	// every telemetry mark and consumes no randomness, so measured results
+	// are byte-identical with auditing on or off. Off by default because
+	// callers that manage sandbox lifetimes themselves (serverless
+	// completions, explicit StopPodSandbox tests) must not double-free.
+	Audit bool
 }
 
 // ArrivalKind names an invocation arrival process.
@@ -275,10 +286,25 @@ type Host struct {
 	// Faults is the host-wide injector (nil when Opts.Faults is empty).
 	Faults *fault.Injector
 
+	// Baseline is the conservation-counter snapshot taken right after host
+	// boot — the reference every leak audit diffs against.
+	Baseline audit.Snapshot
+
 	RTNL       *sim.Mutex
 	CgroupLock *sim.Mutex
 	IrqLock    *sim.Mutex
 }
+
+// auditSystem bundles the host's substrates for conservation snapshots.
+func (h *Host) auditSystem() audit.System {
+	return audit.System{
+		NIC: h.NIC, Mem: h.Mem, MMU: h.MMU, VFIO: h.VFIO,
+		KVM: h.KVM, Lazy: h.Lazy, Env: h.Env,
+	}
+}
+
+// AuditSnapshot captures the host's current conservation counters.
+func (h *Host) AuditSnapshot() audit.Snapshot { return audit.Capture(h.auditSystem()) }
 
 // NewHost boots a machine: creates the hardware, pre-creates the VFs, and
 // binds them to the driver the configuration requires (vfio-pci once at
@@ -392,6 +418,9 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		Faults:       h.Faults,
 		Retry:        pol,
 	})
+	// The baseline is taken after boot-time VF binding and pre-zeroing so
+	// it reflects the steady idle state every experiment must return to.
+	h.Baseline = h.AuditSnapshot()
 	return h, nil
 }
 
@@ -417,6 +446,26 @@ type Result struct {
 	// FaultStats is the injector's per-site counter snapshot (nil when the
 	// host runs fault-free).
 	FaultStats []fault.SiteStat
+
+	// Leaks is the host-wide conservation audit (nil unless Options.Audit):
+	// every surviving sandbox is stopped after measurement and the counters
+	// diffed against the host's boot baseline. A clean report proves the
+	// run — rollbacks included — returned every VF, page, IOMMU mapping,
+	// and registration it took.
+	Leaks *audit.Report
+}
+
+// Live returns the sandboxes that completed startup, filtering the nil
+// slots failed containers leave behind in Sandboxes (which stays
+// index-aligned with container ids).
+func (r *Result) Live() []*cri.Sandbox {
+	out := make([]*cri.Sandbox, 0, len(r.Sandboxes))
+	for _, sb := range r.Sandboxes {
+		if sb != nil {
+			out = append(out, sb)
+		}
+	}
+	return out
 }
 
 // SuccessRate returns the fraction of started containers that finished
@@ -426,21 +475,50 @@ func (r *Result) SuccessRate() float64 {
 }
 
 // StartupExperiment concurrently starts n secure containers (crictl-style,
-// no application inside, §3.1) and collects per-container timings.
+// no application inside, §3.1) and collects per-container timings. With
+// Options.Audit set, every surviving sandbox is then stopped and the
+// host's conservation counters diffed against the boot baseline into
+// Result.Leaks; the teardown phase runs after all telemetry marks, so the
+// measured results are unaffected.
 func (h *Host) StartupExperiment(n int) *Result {
+	res := h.startupWave(n, 0)
+	if h.Opts.Audit {
+		// Detach the tracer before teardown: the recorded stream (and hence
+		// the lock-contention profile and trace fingerprint) covers exactly
+		// the measured startup phase, byte-identical to an unaudited run.
+		if h.Tracer != nil {
+			h.K.SetProbe(nil)
+		}
+		if err := h.stopAll(res.Live(), nil); err != nil {
+			res.Err = errors.Join(res.Err, err)
+		}
+		res.Leaks = audit.NewReport(h.Baseline, h.AuditSnapshot())
+	}
+	return res
+}
+
+// startupWave starts n containers with globally unique ids base..base+n-1
+// (churn runs several waves on one host; ids must not collide across waves
+// for telemetry and trace binding).
+func (h *Host) startupWave(n, base int) *Result {
 	res := &Result{Name: h.Opts.Name, N: n, Recorder: h.Rec, Started: n}
 	sandboxes := make([]*cri.Sandbox, n)
+	var errs []error
 	arrivals := h.Opts.Arrival.times(h.K.Rand(), n, h.Opts.StartJitter)
 	for i := 0; i < n; i++ {
 		i := i
+		id := base + i
 		at := h.K.Now() + arrivals[i]
-		h.K.GoAt(at, fmt.Sprintf("ctr-%d", i), func(p *sim.Proc) {
-			sb, err := h.Eng.RunPodSandbox(p, i)
+		h.K.GoAt(at, fmt.Sprintf("ctr-%d", id), func(p *sim.Proc) {
+			sb, err := h.Eng.RunPodSandbox(p, id)
 			if err != nil {
 				if fault.IsFault(err) {
 					res.Failed++
-				} else if res.Err == nil {
-					res.Err = err
+				} else {
+					// Aggregate every genuine error: a concurrent wave can
+					// surface several and dropping all but the first hides
+					// real damage.
+					errs = append(errs, err)
 				}
 				return
 			}
@@ -448,6 +526,7 @@ func (h *Host) StartupExperiment(n int) *Result {
 		})
 	}
 	h.K.Run()
+	res.Err = errors.Join(errs...)
 	res.Sandboxes = sandboxes
 	res.Trace = h.Tracer
 	res.Totals = h.Rec.Totals()
@@ -460,6 +539,96 @@ func (h *Host) StartupExperiment(n int) *Result {
 	}
 	res.FaultStats = h.Faults.Snapshot()
 	return res
+}
+
+// stopAll tears the sandboxes down concurrently (one proc per sandbox) in
+// a fresh kernel phase, invoking each (when non-nil) with every sandbox's
+// reclaim latency. Teardown errors are aggregated, not fail-fast: the
+// remaining sandboxes still come down.
+func (h *Host) stopAll(sbs []*cri.Sandbox, each func(id int, took time.Duration)) error {
+	if len(sbs) == 0 {
+		return nil
+	}
+	var errs []error
+	for _, sb := range sbs {
+		sb := sb
+		h.K.Go(fmt.Sprintf("stop-%d", sb.ID), func(p *sim.Proc) {
+			start := p.Now()
+			if err := h.Eng.StopPodSandbox(p, sb); err != nil {
+				errs = append(errs, err)
+			}
+			if each != nil {
+				each(sb.ID, p.Now()-start)
+			}
+		})
+	}
+	h.K.Run()
+	return errors.Join(errs...)
+}
+
+// ChurnResult carries a churn experiment's outcome.
+type ChurnResult struct {
+	Name    string
+	Waves   int
+	PerWave int
+	Started int
+	Failed  int
+	// Reclaim samples per-sandbox StopPodSandbox latency across all waves.
+	Reclaim *stats.Sample
+	// Rollback samples per-container compensating-rollback time (failed
+	// containers only); Rollbacks counts them.
+	Rollback  *stats.Sample
+	Rollbacks int
+	// Leaks audits the host after the final wave against the boot
+	// baseline. A recycling host must end identically clean.
+	Leaks      *audit.Report
+	Err        error
+	FaultStats []fault.SiteStat
+}
+
+// SuccessRate returns the fraction of started containers that finished
+// startup, in [0, 1].
+func (r *ChurnResult) SuccessRate() float64 {
+	return stats.SuccessRate(r.Started-r.Failed, r.Started)
+}
+
+// ChurnExperiment runs waves of n concurrent starts, tearing every
+// surviving sandbox down between waves — the serverless recycling loop of
+// §2.3 ("VFs will be recycled when their assigned [containers] are
+// destroyed"), typically under a fault- and crash-heavy plan. Each wave
+// gets a fresh telemetry recorder (per-wave breakdowns stay separable) and
+// globally unique container ids; after the final wave the host is audited
+// against its boot baseline.
+func (h *Host) ChurnExperiment(waves, n int) *ChurnResult {
+	out := &ChurnResult{
+		Name: h.Opts.Name, Waves: waves, PerWave: n,
+		Reclaim: stats.NewSample(), Rollback: stats.NewSample(),
+	}
+	for w := 0; w < waves; w++ {
+		rec := telemetry.NewRecorder()
+		h.Rec = rec
+		h.Eng.SetRecorder(rec)
+		res := h.startupWave(n, w*n)
+		out.Started += res.Started
+		out.Failed += res.Failed
+		if res.Err != nil {
+			out.Err = errors.Join(out.Err, res.Err)
+		}
+		for _, sp := range rec.Spans() {
+			if sp.Stage == telemetry.StageRollback {
+				out.Rollback.Add(sp.Dur())
+				out.Rollbacks++
+			}
+		}
+		if err := h.stopAll(res.Live(), func(_ int, took time.Duration) {
+			out.Reclaim.Add(took)
+		}); err != nil {
+			out.Err = errors.Join(out.Err, err)
+		}
+	}
+	out.Leaks = audit.NewReport(h.Baseline, h.AuditSnapshot())
+	out.FaultStats = h.Faults.Snapshot()
+	return out
 }
 
 // RunBaseline is the one-call experiment: boot a default host with the

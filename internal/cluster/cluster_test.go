@@ -4,9 +4,22 @@ import (
 	"testing"
 	"time"
 
+	"fastiov/internal/fault"
 	"fastiov/internal/sim"
 	"fastiov/internal/telemetry"
 )
+
+// testFaultPlan mirrors the chaos experiment's plan shape: probabilistic
+// failures across the classic sites plus latency inflation.
+func testFaultPlan(p float64) *fault.Plan {
+	pl := fault.NewPlan()
+	pl.Set(fault.SiteVFIOReset, fault.Rule{Prob: p})
+	pl.Set(fault.SiteDMAMap, fault.Rule{Prob: p / 2})
+	pl.Set(fault.SiteCNIAdd, fault.Rule{Prob: p / 2})
+	pl.Set(fault.SiteScrubber, fault.Rule{Prob: p, Latency: 2})
+	pl.Set(fault.SiteMemBW, fault.Rule{Latency: 1 + p})
+	return pl
+}
 
 func mustRun(t *testing.T, name string, n int) *Result {
 	t.Helper()
@@ -176,7 +189,7 @@ func TestTeardownReleasesResources(t *testing.T) {
 		t.Fatal(res.Err)
 	}
 	h.K.Go("teardown", func(p *sim.Proc) {
-		for _, sb := range res.Sandboxes {
+		for _, sb := range res.Live() {
 			if err := h.Eng.StopPodSandbox(p, sb); err != nil {
 				t.Errorf("stop: %v", err)
 			}
@@ -208,6 +221,136 @@ func TestVFExhaustion(t *testing.T) {
 	res := h.StartupExperiment(8)
 	if res.Err == nil {
 		t.Error("starting 8 containers with 4 VFs should fail")
+	}
+}
+
+func TestStartupErrorsAggregated(t *testing.T) {
+	// 8 containers racing for 4 VFs: every loser must surface in Result.Err,
+	// not just the first — a concurrent wave can take several genuine
+	// failures and dropping all but one hides real damage.
+	opts, _ := OptionsFor(BaselineVanilla)
+	spec := DefaultHostSpec()
+	spec.NumVFs = 4
+	h, err := NewHost(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.StartupExperiment(8)
+	if res.Err == nil {
+		t.Fatal("8 containers on 4 VFs succeeded")
+	}
+	joined, ok := res.Err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("Result.Err is not an aggregate: %v", res.Err)
+	}
+	if got := len(joined.Unwrap()); got != 4 {
+		t.Errorf("aggregated %d errors, want 4 (one per VF-starved container): %v", got, res.Err)
+	}
+	if got := len(res.Live()); got != 4 {
+		t.Errorf("Live() = %d sandboxes, want 4", got)
+	}
+	if len(res.Sandboxes) != 8 {
+		t.Errorf("Sandboxes = %d entries, want 8 (index-aligned, nil for failures)", len(res.Sandboxes))
+	}
+}
+
+func TestAuditPopulatesLeaksAndStaysClean(t *testing.T) {
+	opts, _ := OptionsFor(BaselineFastIOV)
+	opts.Audit = true
+	h, err := NewHost(DefaultHostSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.StartupExperiment(20)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Leaks == nil {
+		t.Fatal("audited run has nil Leaks")
+	}
+	if !res.Leaks.Clean() {
+		t.Errorf("audited fault-free run is dirty:\n%s", res.Leaks)
+	}
+	// Unaudited runs must not populate (or tear down) anything.
+	opts.Audit = false
+	h2, err := NewHost(DefaultHostSpec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := h2.StartupExperiment(20)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if res2.Leaks != nil {
+		t.Error("unaudited run populated Leaks")
+	}
+	if res2.Leaks.Clean() {
+		t.Error("nil leak report claims to be clean")
+	}
+}
+
+// TestHostConservationUnderCrashChurn is the host-level alloc/free
+// conservation property: churn waves under every combination of fault plan
+// and crash point must end with a byte-clean audit against the boot
+// baseline — the transaction either commits or compensates fully.
+func TestHostConservationUnderCrashChurn(t *testing.T) {
+	type tc struct {
+		name  string
+		base  string
+		waves int
+		n     int
+		plan  func() *fault.Plan
+	}
+	crashAt := func(stages ...fault.CrashStage) func() *fault.Plan {
+		return func() *fault.Plan {
+			pl := testFaultPlan(0.05)
+			for _, st := range stages {
+				pl.Set(fault.CrashSite(st), fault.Rule{Prob: 0.25})
+			}
+			return pl
+		}
+	}
+	cases := []tc{
+		{"fault-free", BaselineFastIOV, 2, 10, fault.NewPlan},
+		{"faults-only", BaselineFastIOV, 2, 10, func() *fault.Plan { return testFaultPlan(0.15) }},
+		{"crash-every-stage", BaselineFastIOV, 3, 10, crashAt(fault.CrashStages()...)},
+		{"crash-dma-rebind", BaselineRebind, 2, 8, crashAt(fault.CrashDMA)},
+		{"crash-boot-rebind", BaselineRebind, 2, 8, crashAt(fault.CrashBoot)},
+		{"crash-vhost-vanilla", BaselineVanilla, 2, 10, crashAt(fault.CrashVhost)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 7} {
+				opts, err := OptionsFor(c.base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Seed = seed
+				opts.Faults = c.plan()
+				h, err := NewHost(DefaultHostSpec(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := h.ChurnExperiment(c.waves, c.n)
+				if res.Err != nil {
+					t.Fatalf("seed %d: %v", seed, res.Err)
+				}
+				if !res.Leaks.Clean() {
+					t.Errorf("seed %d: dirty audit after churn:\n%s", seed, res.Leaks)
+				}
+				if res.Started != c.waves*c.n {
+					t.Errorf("seed %d: started %d, want %d", seed, res.Started, c.waves*c.n)
+				}
+				if res.Failed > 0 && res.Rollbacks == 0 {
+					t.Errorf("seed %d: %d failures but no recorded rollbacks", seed, res.Failed)
+				}
+				if res.Reclaim.N() != res.Started-res.Failed {
+					t.Errorf("seed %d: %d reclaim samples, want %d survivors",
+						seed, res.Reclaim.N(), res.Started-res.Failed)
+				}
+			}
+		})
 	}
 }
 
@@ -271,7 +414,7 @@ func TestChurnRecyclesVFsAndMemory(t *testing.T) {
 			t.Fatalf("wave %d: %v", wave, res.Err)
 		}
 		h.K.Go("teardown", func(p *sim.Proc) {
-			for _, sb := range res.Sandboxes {
+			for _, sb := range res.Live() {
 				if err := h.Eng.StopPodSandbox(p, sb); err != nil {
 					t.Errorf("wave %d stop: %v", wave, err)
 				}
@@ -309,7 +452,7 @@ func TestChurnRezeroesRecycledMemory(t *testing.T) {
 			t.Fatal(res.Err)
 		}
 		h.K.Go("rw", func(p *sim.Proc) {
-			for _, sb := range res.Sandboxes {
+			for _, sb := range res.Live() {
 				// Tenant reads its whole RAM, then writes "secrets".
 				if err := sb.MVM.VM.TouchRange(p, 0, 512<<20, false); err != nil {
 					t.Error(err)
@@ -320,7 +463,7 @@ func TestChurnRezeroesRecycledMemory(t *testing.T) {
 					return
 				}
 			}
-			for _, sb := range res.Sandboxes {
+			for _, sb := range res.Live() {
 				if err := h.Eng.StopPodSandbox(p, sb); err != nil {
 					t.Error(err)
 				}

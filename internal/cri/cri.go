@@ -6,6 +6,7 @@
 package cri
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -91,6 +92,10 @@ func NewEngine(env *hypervisor.Env, plugin cni.Plugin, rec *telemetry.Recorder, 
 // Recorder returns the telemetry recorder.
 func (e *Engine) Recorder() *telemetry.Recorder { return e.rec }
 
+// SetRecorder swaps the telemetry recorder — churn experiments install a
+// fresh recorder per wave so per-wave breakdowns stay separable.
+func (e *Engine) SetRecorder(rec *telemetry.Recorder) { e.rec = rec }
+
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
 
@@ -109,9 +114,51 @@ type Sandbox struct {
 	vfioRegisteredHere bool
 }
 
+// unwind is the compensation stack that makes startup transactional: every
+// acquisition pushes its release, and a failure pops them in reverse
+// (LIFO) order so each compensation runs against exactly the state its
+// acquisition left behind. Pushing closures costs no simulated time, so
+// the machinery is invisible on the success path.
+type unwind struct {
+	entries []unwindEntry
+}
+
+type unwindEntry struct {
+	what string
+	fn   func(*sim.Proc) error
+}
+
+func (u *unwind) push(what string, fn func(*sim.Proc) error) {
+	u.entries = append(u.entries, unwindEntry{what: what, fn: fn})
+}
+
+func (u *unwind) depth() int { return len(u.entries) }
+
+// rollback runs the compensations newest-first. It is best-effort: a
+// failed compensation is recorded and the remainder still run, so one bad
+// release cannot strand every resource beneath it.
+func (u *unwind) rollback(p *sim.Proc) error {
+	var errs []error
+	for i := len(u.entries) - 1; i >= 0; i-- {
+		ent := u.entries[i]
+		if err := ent.fn(p); err != nil {
+			errs = append(errs, fmt.Errorf("rollback %s: %w", ent.what, err))
+		}
+	}
+	u.entries = nil
+	return errors.Join(errs...)
+}
+
 // RunPodSandbox executes the end-to-end network startup procedure of
 // Fig. 4 for one sandbox and returns it ready for application launch.
 // Every stage is recorded into the engine's telemetry recorder.
+//
+// Startup is transactional: each acquisition (CNI result, microVM,
+// flawed-path vfio registration, DMA maps, vhost registrations, device fd)
+// pushes a compensation, and any error — genuine, injected, or a
+// crash@<stage> plan clause — rolls the stack back in reverse order
+// through the teardown primitives before returning, so a failed sandbox
+// leaks nothing. Rollback time is recorded as the 8-rollback stage.
 func (e *Engine) RunPodSandbox(p *sim.Proc, id int) (*Sandbox, error) {
 	e.rec.MarkStart(id, p.Now())
 	spanFn := func(stage telemetry.Stage, start, end time.Duration) {
@@ -139,16 +186,50 @@ func (e *Engine) RunPodSandbox(p *sim.Proc, id int) (*Sandbox, error) {
 		return aerr
 	}, func(ws, we time.Duration) { e.rec.Record(id, telemetry.StageRetry, ws, we) })
 	if err != nil {
+		// Nothing was acquired: the plugin fails before allocating a VF.
 		return nil, fmt.Errorf("sandbox %d: cni add: %w", id, err)
 	}
 	sb := &Sandbox{ID: id, CNIRes: res}
+
+	var u unwind
+	// fail rolls back every acquisition (newest first) and returns the
+	// triggering error, joined with any rollback failures. The rollback
+	// span makes recovery cost measurable per container.
+	fail := func(err error) (*Sandbox, error) {
+		if u.depth() > 0 {
+			start := p.Now()
+			if rerr := u.rollback(p); rerr != nil {
+				err = errors.Join(err, rerr)
+			}
+			e.rec.Record(id, telemetry.StageRollback, start, p.Now())
+		}
+		return nil, err
+	}
+	// crash evaluates the stage's crash@<stage> plan clause; a nil injector
+	// or unconfigured site returns nil without a PRNG draw, keeping
+	// fault-free runs byte-identical.
+	crash := func(stage fault.CrashStage) error {
+		if cerr := e.opts.Faults.Fail(fault.CrashSite(stage)); cerr != nil {
+			return fmt.Errorf("sandbox %d: %s: %w", id, fault.CrashSite(stage), cerr)
+		}
+		return nil
+	}
+
+	u.push("cni-del", func(q *sim.Proc) error { return e.plugin.Del(q, id, res) })
+	if err := crash(fault.CrashCNI); err != nil {
+		return fail(err)
+	}
 
 	// Kata runtime: start virtiofsd first (QEMU connects to it), then the
 	// microVM.
 	mvm := hypervisor.New(e.env, id, e.opts.Layout, hypervisor.SpanFn(spanFn))
 	mvm.Start(p)
 	sb.MVM = mvm
+	u.push("vm-destroy", func(q *sim.Proc) error { mvm.Destroy(q); return nil })
 	mvm.StartVirtioFSDaemon(p)
+	if err := crash(fault.CrashMicroVM); err != nil {
+		return fail(err)
+	}
 
 	if res.VF != nil {
 		vd := res.VFIODev
@@ -160,51 +241,88 @@ func (e *Engine) RunPodSandbox(p *sim.Proc, id int) (*Sandbox, error) {
 			res.VF.Dev.Bind(p, "vfio-pci", e.env.VFIO.BindCost())
 			vd, err = e.env.VFIO.Register(res.VF.Dev)
 			if err != nil {
-				return nil, fmt.Errorf("sandbox %d: vfio register: %w", id, err)
+				return fail(fmt.Errorf("sandbox %d: vfio register: %w", id, err))
 			}
 			sb.vfioRegisteredHere = true
+			u.push("vfio-unregister", func(q *sim.Proc) error {
+				rvd, ok := e.env.VFIO.Lookup(res.VF.Dev)
+				if !ok {
+					return fmt.Errorf("lost vfio registration for %s", res.VF.Dev.Addr)
+				}
+				if uerr := e.env.VFIO.Unregister(rvd); uerr != nil {
+					return uerr
+				}
+				res.VF.Dev.Unbind(q, e.env.VFIO.UnbindCost())
+				sb.vfioRegisteredHere = false
+				return nil
+			})
+		}
+		if err := crash(fault.CrashVFIOReg); err != nil {
+			return fail(err)
 		}
 		// QEMU maps guest memory into the IOMMU domain (1-dma-ram,
 		// 3-dma-image), then opens the device fd (4-vfio-dev) — the stage
-		// order of Fig. 5.
+		// order of Fig. 5. The compensation is pushed before the attempt
+		// because a map can fail partway: UnmapGuestMemory unwinds whatever
+		// subset exists and is a no-op if nothing was mapped.
+		u.push("dma-unmap", func(q *sim.Proc) error { return mvm.UnmapGuestMemory(q) })
 		if err := mvm.MapGuestMemory(p, vd, e.opts.SkipImageMap); err != nil {
-			return nil, fmt.Errorf("sandbox %d: map: %w", id, err)
+			return fail(fmt.Errorf("sandbox %d: map: %w", id, err))
+		}
+		if err := crash(fault.CrashDMA); err != nil {
+			return fail(err)
 		}
 		mvm.RegisterVhost(p)
+		// One entry covers every vhost registration this VM accumulates
+		// (the vdpa path adds a second): UnregisterVhost drops them all.
+		u.push("vhost-unregister", func(*sim.Proc) error { mvm.UnregisterVhost(); return nil })
+		if err := crash(fault.CrashVhost); err != nil {
+			return fail(err)
+		}
 		if e.opts.VDPA {
 			// vhost-vdpa control plane: per-device char dev plus a vhost
 			// registration — the devset lock is never taken. Recorded
 			// under 4-vfio-dev so the ablation tables stay comparable.
 			start := p.Now()
-			add := e.opts.VDPADeviceAdd
-			if add <= 0 {
-				add = 5 * time.Millisecond
-			}
-			e.env.CPU.Use(p, 1, add)
-			// The vhost-vdpa registration is lighter than a full
-			// vhost-user device bring-up: a quarter of the hold.
-			e.env.VhostLock.Lock(p)
-			p.Sleep(e.env.Costs.VhostLockHold / 4)
-			e.env.VhostLock.Unlock(p)
+			mvm.RegisterVDPA(p, e.opts.VDPADeviceAdd)
 			e.rec.Record(id, telemetry.StageVFIODev, start, p.Now())
-		} else if err := mvm.OpenDevice(p); err != nil {
-			return nil, fmt.Errorf("sandbox %d: open: %w", id, err)
+		} else {
+			if err := mvm.OpenDevice(p); err != nil {
+				return fail(fmt.Errorf("sandbox %d: open: %w", id, err))
+			}
+			u.push("dev-close", func(q *sim.Proc) error { mvm.CloseDevice(q); return nil })
+		}
+		if err := crash(fault.CrashDev); err != nil {
+			return fail(err)
 		}
 	} else {
 		if err := mvm.SetupMemoryDemand(p); err != nil {
-			return nil, fmt.Errorf("sandbox %d: memory: %w", id, err)
+			return fail(fmt.Errorf("sandbox %d: memory: %w", id, err))
 		}
 		mvm.RegisterVhost(p)
+		u.push("vhost-unregister", func(*sim.Proc) error { mvm.UnregisterVhost(); return nil })
+		if err := crash(fault.CrashVhost); err != nil {
+			return fail(err)
+		}
 	}
 
 	if err := mvm.LoadFirmware(p); err != nil {
-		return nil, fmt.Errorf("sandbox %d: firmware: %w", id, err)
+		return fail(fmt.Errorf("sandbox %d: firmware: %w", id, err))
+	}
+	if err := crash(fault.CrashFirmware); err != nil {
+		return fail(err)
 	}
 
 	g := guest.New(mvm, res.VF, e.irqLock, e.opts.GuestCosts)
 	sb.Guest = g
 	if err := g.Boot(p); err != nil {
-		return nil, fmt.Errorf("sandbox %d: boot: %w", id, err)
+		return fail(fmt.Errorf("sandbox %d: boot: %w", id, err))
+	}
+	// Last crash point: past here the async VF-init may be in flight and
+	// the sandbox belongs to the caller — failure means StopPodSandbox,
+	// not rollback.
+	if err := crash(fault.CrashBoot); err != nil {
+		return fail(err)
 	}
 
 	if res.VF != nil && e.opts.AsyncVFInit {
@@ -242,23 +360,29 @@ func (e *Engine) LaunchApp(p *sim.Proc, sb *Sandbox, imageBytes int64) error {
 }
 
 // StopPodSandbox tears the sandbox down, releasing the VF, microVM memory,
-// and (on the flawed-CNI path) unwinding the driver rebinds.
+// and (on the flawed-CNI path) unwinding the driver rebinds. Teardown is
+// best-effort: each step runs even when an earlier one failed, so a
+// partial failure cannot strand the resources behind it, and every error
+// is aggregated into the returned value with errors.Join.
 func (e *Engine) StopPodSandbox(p *sim.Proc, sb *Sandbox) error {
+	var errs []error
 	if err := sb.MVM.Teardown(p); err != nil {
-		return fmt.Errorf("sandbox %d: teardown: %w", sb.ID, err)
+		errs = append(errs, fmt.Errorf("sandbox %d: teardown: %w", sb.ID, err))
 	}
 	if sb.vfioRegisteredHere {
-		vd, ok := e.env.VFIO.Lookup(sb.CNIRes.VF.Dev)
-		if !ok {
-			return fmt.Errorf("sandbox %d: lost vfio registration", sb.ID)
+		if sb.CNIRes.VF == nil {
+			errs = append(errs, fmt.Errorf("sandbox %d: vfio unregister: VF missing from CNI result", sb.ID))
+		} else if vd, ok := e.env.VFIO.Lookup(sb.CNIRes.VF.Dev); !ok {
+			errs = append(errs, fmt.Errorf("sandbox %d: lost vfio registration", sb.ID))
+		} else if err := e.env.VFIO.Unregister(vd); err != nil {
+			errs = append(errs, fmt.Errorf("sandbox %d: vfio unregister: %w", sb.ID, err))
+		} else {
+			sb.CNIRes.VF.Dev.Unbind(p, e.env.VFIO.UnbindCost())
+			sb.vfioRegisteredHere = false
 		}
-		if err := e.env.VFIO.Unregister(vd); err != nil {
-			return err
-		}
-		sb.CNIRes.VF.Dev.Unbind(p, e.env.VFIO.UnbindCost())
 	}
 	if err := e.plugin.Del(p, sb.ID, sb.CNIRes); err != nil {
-		return fmt.Errorf("sandbox %d: cni del: %w", sb.ID, err)
+		errs = append(errs, fmt.Errorf("sandbox %d: cni del: %w", sb.ID, err))
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -1,11 +1,13 @@
 package cri
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"fastiov/internal/cni"
 	"fastiov/internal/fastiovd"
+	"fastiov/internal/fault"
 	"fastiov/internal/guest"
 	"fastiov/internal/hostmem"
 	"fastiov/internal/hypervisor"
@@ -33,6 +35,8 @@ type rigConfig struct {
 	skip   bool
 	lazy   bool
 	noNet  bool
+	// plan installs a fault-injection plan on the engine (crash tests).
+	plan *fault.Plan
 }
 
 func newRig(t *testing.T, cfg rigConfig) *rig {
@@ -82,6 +86,8 @@ func newRig(t *testing.T, cfg rigConfig) *rig {
 		SkipImageMap: cfg.skip,
 		Layout:       layout,
 		GuestCosts:   guest.DefaultCosts(),
+		Faults:       fault.NewInjector(1, cfg.plan),
+		Retry:        fault.DefaultPolicy(),
 	})
 	return &rig{k: k, mem: mem, card: card, eng: eng, rec: rec, lazy: mod}
 }
@@ -251,6 +257,175 @@ func TestLazySandboxNoViolations(t *testing.T) {
 	}
 	if r.lazy.Corruptions != 0 {
 		t.Errorf("corruptions = %d", r.lazy.Corruptions)
+	}
+}
+
+// rigCounters snapshots every conservation counter the rig can observe.
+type rigCounters struct {
+	freeVFs, freePages, registered, opens, vms, vhost int64
+}
+
+func (r *rig) counters() rigCounters {
+	return rigCounters{
+		freeVFs:    int64(r.card.FreeVFs()),
+		freePages:  r.mem.FreePages(),
+		registered: int64(r.eng.env.VFIO.RegisteredCount()),
+		opens:      int64(r.eng.env.VFIO.TotalOpens()),
+		vms:        int64(r.eng.env.KVM.LiveVMs()),
+		vhost:      int64(r.eng.env.VhostRegistrations()),
+	}
+}
+
+// TestCrashRollbackLeaksNothing drives a deterministic crash through every
+// stage boundary, on both the fixed and the flawed-rebinding CNI path, and
+// checks the transactional property: the failed start returns an injected
+// fault, records a rollback span, and restores every conservation counter
+// to its pre-start value.
+func TestCrashRollbackLeaksNothing(t *testing.T) {
+	paths := []struct {
+		name string
+		cfg  rigConfig
+	}{
+		{"fixed", rigConfig{lazy: true, skip: true, async: true}},
+		{"rebind", rigConfig{rebind: true}},
+	}
+	for _, path := range paths {
+		for _, stage := range fault.CrashStages() {
+			t.Run(path.name+"/"+string(stage), func(t *testing.T) {
+				cfg := path.cfg
+				pl := fault.NewPlan()
+				pl.Set(fault.CrashSite(stage), fault.Rule{EveryN: 1})
+				cfg.plan = pl
+				r := newRig(t, cfg)
+				before := r.counters()
+				r.k.Go("t", func(p *sim.Proc) {
+					sb, err := r.eng.RunPodSandbox(p, 0)
+					if err == nil {
+						t.Fatalf("crash@%s: startup succeeded", stage)
+					}
+					if sb != nil {
+						t.Errorf("crash@%s: failed startup returned a sandbox", stage)
+					}
+					if !fault.IsFault(err) {
+						t.Errorf("crash@%s: error not an injected fault: %v", stage, err)
+					}
+				})
+				r.k.Run()
+				if after := r.counters(); after != before {
+					t.Errorf("crash@%s leaked: before %+v, after %+v", stage, before, after)
+				}
+				rollbacks := 0
+				for _, sp := range r.rec.Spans() {
+					if sp.Stage == telemetry.StageRollback {
+						rollbacks++
+					}
+				}
+				if rollbacks != 1 {
+					t.Errorf("crash@%s recorded %d rollback spans, want 1", stage, rollbacks)
+				}
+				if r.rec.Total(0) != 0 {
+					t.Errorf("crash@%s: failed container recorded a total", stage)
+				}
+			})
+		}
+	}
+}
+
+// TestStopPodSandboxBestEffort drives the teardown path through partial
+// failures: every step must still run and every error must surface in the
+// aggregated return value.
+func TestStopPodSandboxBestEffort(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  rigConfig
+		// sabotage corrupts the sandbox in-sim before StopPodSandbox.
+		sabotage func(t *testing.T, r *rig, p *sim.Proc, sb *Sandbox)
+		wantSubs []string
+	}{
+		{
+			name: "clean",
+			cfg:  rigConfig{rebind: true},
+		},
+		{
+			// A second open on the device fd: teardown closes the VM's own
+			// open, the stray one blocks Unregister — but CNI Del must still
+			// run and release the VF.
+			name: "device held open",
+			cfg:  rigConfig{rebind: true},
+			sabotage: func(t *testing.T, r *rig, p *sim.Proc, sb *Sandbox) {
+				vd, ok := r.eng.env.VFIO.Lookup(sb.CNIRes.VF.Dev)
+				if !ok {
+					t.Fatal("device not registered")
+				}
+				r.eng.env.VFIO.Open(p, vd)
+			},
+			wantSubs: []string{"vfio unregister"},
+		},
+		{
+			// A corrupted CNI result: Del fails, but the microVM teardown
+			// already ran.
+			name: "missing VF in result",
+			cfg:  rigConfig{},
+			sabotage: func(t *testing.T, r *rig, p *sim.Proc, sb *Sandbox) {
+				sb.CNIRes.VF = nil
+			},
+			wantSubs: []string{"cni del"},
+		},
+		{
+			name: "multiple failures aggregated",
+			cfg:  rigConfig{rebind: true},
+			sabotage: func(t *testing.T, r *rig, p *sim.Proc, sb *Sandbox) {
+				vd, ok := r.eng.env.VFIO.Lookup(sb.CNIRes.VF.Dev)
+				if !ok {
+					t.Fatal("device not registered")
+				}
+				r.eng.env.VFIO.Open(p, vd)
+				sb.CNIRes.VF = nil
+			},
+			wantSubs: []string{"vfio unregister", "cni del"},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := newRig(t, c.cfg)
+			r.k.Go("t", func(p *sim.Proc) {
+				sb, err := r.eng.RunPodSandbox(p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.sabotage != nil {
+					c.sabotage(t, r, p, sb)
+				}
+				err = r.eng.StopPodSandbox(p, sb)
+				if len(c.wantSubs) == 0 {
+					if err != nil {
+						t.Fatalf("clean stop errored: %v", err)
+					}
+					return
+				}
+				if err == nil {
+					t.Fatalf("sabotaged stop returned nil")
+				}
+				for _, sub := range c.wantSubs {
+					if !strings.Contains(err.Error(), sub) {
+						t.Errorf("error %q missing %q", err, sub)
+					}
+				}
+				if len(c.wantSubs) > 1 {
+					joined, ok := err.(interface{ Unwrap() []error })
+					if !ok || len(joined.Unwrap()) < len(c.wantSubs) {
+						t.Errorf("error does not aggregate %d failures: %v", len(c.wantSubs), err)
+					}
+				}
+				// Best-effort guarantee: the microVM is gone even when a later
+				// step failed.
+				if n := r.eng.env.KVM.LiveVMs(); n != 0 {
+					t.Errorf("%d live VMs after stop", n)
+				}
+			})
+			r.k.Run()
+		})
 	}
 }
 

@@ -174,6 +174,12 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 	}
 	opts.Faults = s.Faults
 	opts.Trace = s.traced()
+	// Every harness run is audited: after measurement the surviving
+	// sandboxes are stopped and the host's conservation counters diffed
+	// against the boot baseline. The teardown phase runs after all
+	// telemetry marks and consumes no randomness, so the rendered results
+	// are unchanged — but a leak anywhere in the registry fails loudly.
+	opts.Audit = true
 	spec := cluster.DefaultHostSpec()
 	if s.Spec != nil {
 		spec = *s.Spec
@@ -185,6 +191,11 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 	res := h.StartupExperiment(s.N)
 	if res.Err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Baseline, res.Err)
+	}
+	if !res.Leaks.Clean() {
+		// Standing invariant: every run — rollbacks included — must return
+		// each VF, page, IOMMU mapping, and registration it took.
+		return nil, fmt.Errorf("%s: dirty leak audit:\n%s", s.Baseline, res.Leaks)
 	}
 	if res.Trace != nil {
 		// Standing invariant on every traced run: per-container critical
@@ -382,6 +393,10 @@ func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
 	}
 	opts.Faults = s.Faults
 	opts.Trace = s.traced()
+	// Harness serverless runs audit too: completed sandboxes are stopped
+	// after the sample is taken and the conservation counters checked (see
+	// startupSpec.run).
+	opts.Audit = true
 	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
 	if err != nil {
 		return nil, err

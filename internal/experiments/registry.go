@@ -104,6 +104,9 @@ func Registry() []Entry {
 		{"contention", "Lock contention and critical paths", func(x *Exec, n int) (*Report, error) {
 			return x.Contention(pick(n, DefaultConcurrency))
 		}},
+		{"recovery", "Transactional startup: crash churn and leak audit", func(x *Exec, n int) (*Report, error) {
+			return x.Recovery(pick(n, 30))
+		}},
 	}
 }
 

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"fastiov/internal/audit"
 	"fastiov/internal/cluster"
+	"fastiov/internal/cri"
 	"fastiov/internal/fault"
 	"fastiov/internal/serverless"
 	"fastiov/internal/sim"
@@ -17,8 +20,12 @@ import (
 // are dropped from the sample — a faulted sweep measures the survivors —
 // while genuine errors still abort the run. Without faults every task
 // completes, so the sample is built identically to the pre-fault layer.
+// With opts.Audit set, every completed sandbox is stopped after the sample
+// is taken and the host's conservation counters are checked against the
+// boot baseline.
 func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app serverless.App) (*stats.Sample, error) {
 	completions := make([]time.Duration, n)
+	sandboxes := make([]*cri.Sandbox, n)
 	var firstErr error
 	rng := h.K.Rand()
 	for i := 0; i < n; i++ {
@@ -33,6 +40,7 @@ func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app ser
 				}
 				return
 			}
+			sandboxes[i] = sb
 			if err := serverless.Execute(p, h.Eng, sb, app); err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -55,7 +63,29 @@ func serverlessCompletions(h *cluster.Host, opts cluster.Options, n int, app ser
 			done = append(done, d)
 		}
 	}
-	return stats.FromDurations(done), nil
+	sample := stats.FromDurations(done)
+	if opts.Audit {
+		var errs []error
+		for _, sb := range sandboxes {
+			if sb == nil {
+				continue
+			}
+			sb := sb
+			h.K.Go(fmt.Sprintf("stop-%d", sb.ID), func(p *sim.Proc) {
+				if err := h.Eng.StopPodSandbox(p, sb); err != nil {
+					errs = append(errs, err)
+				}
+			})
+		}
+		h.K.Run()
+		if err := errors.Join(errs...); err != nil {
+			return nil, fmt.Errorf("%s/%s: stop: %w", opts.Name, app.Name, err)
+		}
+		if rep := audit.NewReport(h.Baseline, h.AuditSnapshot()); !rep.Clean() {
+			return nil, fmt.Errorf("%s/%s: dirty leak audit:\n%s", opts.Name, app.Name, rep)
+		}
+	}
+	return sample, nil
 }
 
 // runServerless runs one serverless scenario directly (no pool, no cache),

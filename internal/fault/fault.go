@@ -52,8 +52,67 @@ const (
 )
 
 // Sites returns every known injection site in canonical (sorted) order.
+// Crash sites (crash@<stage>) are named separately — see CrashStages.
 func Sites() []Site {
 	return []Site{SiteBusReset, SiteCNIAdd, SiteDMAMap, SiteMemBW, SiteScrubber, SiteVFIOReset}
+}
+
+// CrashStage names a startup stage boundary at which a crash@<stage> plan
+// clause deterministically aborts the container, exercising the runtime's
+// compensating rollback from that exact interruption point.
+type CrashStage string
+
+// The crash points, in startup order. There is deliberately no crash point
+// after the asynchronous VF-init spawn: past that boundary the sandbox has
+// been handed to the caller and failure means teardown, not rollback.
+const (
+	// CrashCNI fires after the CNI add returned a result.
+	CrashCNI CrashStage = "cni"
+	// CrashMicroVM fires after the microVM and virtiofsd are running.
+	CrashMicroVM CrashStage = "microvm"
+	// CrashVFIOReg fires after the flawed-path vfio rebind+register (and at
+	// the same boundary on the fixed path, where nothing was registered).
+	CrashVFIOReg CrashStage = "vfio-reg"
+	// CrashDMA fires after guest memory is pinned and IOMMU-mapped.
+	CrashDMA CrashStage = "dma"
+	// CrashVhost fires after the vhost registration(s).
+	CrashVhost CrashStage = "vhost"
+	// CrashDev fires after the VFIO device fd is open (or the vdpa device
+	// is added).
+	CrashDev CrashStage = "dev"
+	// CrashFirmware fires after firmware load.
+	CrashFirmware CrashStage = "firmware"
+	// CrashBoot fires after guest boot — the last crash point.
+	CrashBoot CrashStage = "boot"
+)
+
+// CrashStages returns every crash point in startup order.
+func CrashStages() []CrashStage {
+	return []CrashStage{
+		CrashCNI, CrashMicroVM, CrashVFIOReg, CrashDMA,
+		CrashVhost, CrashDev, CrashFirmware, CrashBoot,
+	}
+}
+
+// crashPrefix introduces a crash site in the plan grammar.
+const crashPrefix = "crash@"
+
+// CrashSite returns the injection site for a crash stage, named
+// "crash@<stage>" in the plan grammar.
+func CrashSite(stage CrashStage) Site { return Site(crashPrefix + string(stage)) }
+
+// IsCrashSite reports whether the site is a crash@<stage> site.
+func IsCrashSite(s Site) bool {
+	stage, ok := strings.CutPrefix(string(s), crashPrefix)
+	if !ok {
+		return false
+	}
+	for _, c := range CrashStages() {
+		if string(c) == stage {
+			return true
+		}
+	}
+	return false
 }
 
 func knownSite(s Site) bool {
@@ -62,7 +121,7 @@ func knownSite(s Site) bool {
 			return true
 		}
 	}
-	return false
+	return IsCrashSite(s)
 }
 
 // Rule configures one site. The zero value is inert.
@@ -183,10 +242,13 @@ func Uniform(p float64, sites ...Site) *Plan {
 //
 //	site:key=val[,key=val...][;site:key=val...]
 //
-// where site is one of Sites() and keys are p (probability in [0,1]),
-// every (fail each Nth occurrence, N >= 1), limit (max injected failures,
-// >= 0), and lat (latency factor, > 0). Malformed specs return an error;
-// the parser never panics. The empty string parses to an empty plan.
+// where site is one of Sites() or crash@<stage> with stage from
+// CrashStages(), and keys are p (probability in [0,1]), every (fail each
+// Nth occurrence, N >= 1), limit (max injected failures, >= 0), and lat
+// (latency factor, > 0). Crash sites reject lat: a crash aborts the
+// container at the stage boundary, it has no latency to inflate. Malformed
+// specs return an error; the parser never panics. The empty string parses
+// to an empty plan.
 func ParsePlan(spec string) (*Plan, error) {
 	pl := NewPlan()
 	if strings.TrimSpace(spec) == "" {
@@ -238,6 +300,9 @@ func ParsePlan(spec string) (*Plan, error) {
 				}
 				r.Limit = n
 			case "lat":
+				if IsCrashSite(site) {
+					return nil, fmt.Errorf("fault: %s: lat is not valid for crash sites (want p, every, limit)", site)
+				}
 				f, err := parseFloat(site, k, v)
 				if err != nil {
 					return nil, err
@@ -274,6 +339,11 @@ func siteList() string {
 	for _, s := range Sites() {
 		parts = append(parts, string(s))
 	}
+	var stages []string
+	for _, c := range CrashStages() {
+		stages = append(stages, string(c))
+	}
+	parts = append(parts, crashPrefix+"{"+strings.Join(stages, "|")+"}")
 	return strings.Join(parts, ", ")
 }
 

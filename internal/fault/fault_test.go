@@ -277,6 +277,93 @@ func TestSnapshotSortedAndCounted(t *testing.T) {
 	}
 }
 
+func TestCrashSites(t *testing.T) {
+	for _, st := range CrashStages() {
+		s := CrashSite(st)
+		if !IsCrashSite(s) {
+			t.Errorf("IsCrashSite(%s) = false", s)
+		}
+	}
+	for _, s := range []Site{SiteVFIOReset, SiteDMAMap, "crash@", "crash@bogus", "dma"} {
+		if IsCrashSite(s) {
+			t.Errorf("IsCrashSite(%s) = true", s)
+		}
+	}
+	// Crash sites are not part of the classic site list: Uniform must not
+	// configure them, or chaos plans would silently start crashing startups.
+	for _, s := range Sites() {
+		if IsCrashSite(s) {
+			t.Errorf("Sites() includes crash site %s", s)
+		}
+	}
+}
+
+func TestParsePlanCrashClauses(t *testing.T) {
+	pl, err := ParsePlan("crash@dma:p=0.2;crash@boot:every=7,limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := pl.Rule(CrashSite(CrashDMA)); !ok || r.Prob != 0.2 {
+		t.Errorf("crash@dma rule = %+v, %v", r, ok)
+	}
+	if r, ok := pl.Rule(CrashSite(CrashBoot)); !ok || r.EveryN != 7 || r.Limit != 3 {
+		t.Errorf("crash@boot rule = %+v, %v", r, ok)
+	}
+	// Canonical rendering round-trips (the cache-key property).
+	want := "crash@boot:every=7,limit=3;crash@dma:p=0.2"
+	if got := pl.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if pl2, err := ParsePlan(pl.String()); err != nil || pl2.String() != want {
+		t.Errorf("round trip: %v, %v", pl2, err)
+	}
+	for _, c := range []struct{ spec, wantSub string }{
+		{"crash@bogus:p=0.1", "unknown site"},
+		{"crash@:p=0.1", "unknown site"},
+		{"crash@dma:lat=2", "not valid for crash sites"},
+	} {
+		if _, err := ParsePlan(c.spec); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParsePlan(%q) error = %v, want %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestInjectorCrashEveryN(t *testing.T) {
+	pl := NewPlan()
+	pl.Set(CrashSite(CrashVhost), Rule{EveryN: 2})
+	inj := NewInjector(1, pl)
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if err := inj.Fail(CrashSite(CrashVhost)); err != nil {
+			if !IsFault(err) {
+				t.Errorf("crash error not an injected fault: %v", err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 3 || fired[0] != 2 || fired[1] != 4 || fired[2] != 6 {
+		t.Errorf("fired at %v, want [2 4 6]", fired)
+	}
+	// Unconfigured crash sites stay free, like every other site.
+	if err := inj.Fail(CrashSite(CrashBoot)); err != nil {
+		t.Errorf("unconfigured crash site failed: %v", err)
+	}
+}
+
+func TestCrashStagesOrdered(t *testing.T) {
+	want := []CrashStage{CrashCNI, CrashMicroVM, CrashVFIOReg, CrashDMA,
+		CrashVhost, CrashDev, CrashFirmware, CrashBoot}
+	got := CrashStages()
+	if len(got) != len(want) {
+		t.Fatalf("CrashStages() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CrashStages()[%d] = %s, want %s (startup order)", i, got[i], want[i])
+		}
+	}
+}
+
 func TestUniform(t *testing.T) {
 	pl := Uniform(0.5)
 	for _, s := range Sites() {

@@ -23,6 +23,12 @@ func FuzzParsePlan(f *testing.F) {
 		":p=0.1",
 		"vfio-reset:p==1",
 		"vfio-reset:p=0.1,,every=2",
+		"crash@dma:p=0.2",
+		"crash@boot:every=7;crash@cni:p=0.1,limit=2",
+		"crash@dma:lat=2",
+		"crash@bogus:p=0.1",
+		"crash@:p=0.1",
+		"crash@dma:p=0.2;vfio-reset:p=0.1",
 	} {
 		f.Add(seed)
 	}

@@ -334,6 +334,18 @@ func (a *Allocator) Unpin(p *sim.Proc, region *Region) {
 // Pinned reports whether a page is pinned.
 func (a *Allocator) Pinned(page int64) bool { return a.pinned[page] > 0 }
 
+// PinnedPages returns the number of pages with a live pin refcount — a
+// conservation input for host-wide leak audits.
+func (a *Allocator) PinnedPages() int64 {
+	var n int64
+	for _, c := range a.pinned {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // State returns a page's content state.
 func (a *Allocator) State(page int64) ContentState { return a.state[page] }
 

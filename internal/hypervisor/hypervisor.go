@@ -75,7 +75,15 @@ type Env struct {
 	// spans. Both fields are inert at their zero values.
 	Faults *fault.Injector
 	Retry  fault.Policy
+
+	// vhostRegs counts live vhost device registrations host-wide — a
+	// conservation input for leak audits.
+	vhostRegs int
 }
+
+// VhostRegistrations returns the number of live vhost device registrations
+// host-wide (virtiofs vhost-user devices plus vdpa devices).
+func (e *Env) VhostRegistrations() int { return e.vhostRegs }
 
 // NewEnv wires an Env with the default cost model.
 func NewEnv(k *sim.Kernel, mem *hostmem.Allocator, kv *kvm.KVM, vf *vfio.Driver, lazy *fastiovd.Module, cpu *sim.Resource) *Env {
@@ -133,6 +141,10 @@ type MicroVM struct {
 	// virtioCursor rotates shared-buffer placement across guest RAM so
 	// successive transfers exercise different pages.
 	virtioCursor int64
+
+	// vhostRegs counts this VM's live vhost registrations (mirrored into
+	// the Env's host-wide counter).
+	vhostRegs int
 
 	rec SpanFn
 }
@@ -344,7 +356,38 @@ func (m *MicroVM) RegisterVhost(p *sim.Proc) {
 	p.Sleep(m.Env.Costs.VhostLockHold)
 	m.Env.VhostLock.Unlock(p)
 	m.Env.CPU.Use(p, 1, m.Env.Costs.FSMountGuest)
+	m.noteVhost()
 	m.span(telemetry.StageVirtioFS, start, p.Now())
+}
+
+// RegisterVDPA adds the VF as a vdpa device through the vhost framework
+// (§7): a per-device char dev — the devset-wide lock is never taken — plus
+// a vhost registration that is lighter than a full vhost-user bring-up (a
+// quarter of the hold). deviceAdd is the `vdpa dev add` + char-device
+// setup cost; <= 0 selects the default.
+func (m *MicroVM) RegisterVDPA(p *sim.Proc, deviceAdd time.Duration) {
+	if deviceAdd <= 0 {
+		deviceAdd = 5 * time.Millisecond
+	}
+	m.Env.CPU.Use(p, 1, deviceAdd)
+	m.Env.VhostLock.Lock(p)
+	p.Sleep(m.Env.Costs.VhostLockHold / 4)
+	m.Env.VhostLock.Unlock(p)
+	m.noteVhost()
+}
+
+func (m *MicroVM) noteVhost() {
+	m.vhostRegs++
+	m.Env.vhostRegs++
+}
+
+// UnregisterVhost drops every vhost registration this VM holds (the
+// virtiofs vhost-user device, plus the vdpa device when present).
+// Deregistration is a host-side table update with negligible cost, so it
+// consumes no simulated time. Idempotent.
+func (m *MicroVM) UnregisterVhost() {
+	m.Env.vhostRegs -= m.vhostRegs
+	m.vhostRegs = 0
 }
 
 // SetupVirtioFS runs both halves back to back (tests and simple callers).
@@ -395,28 +438,52 @@ func (m *MicroVM) VirtioFSRead(p *sim.Proc, bytes int64, proactive bool) error {
 	return nil
 }
 
-// Teardown releases everything: DMA mappings, the VFIO device, fastiovd
-// state, demand pages, and backing regions.
-func (m *MicroVM) Teardown(p *sim.Proc) error {
-	env := m.Env
-	if m.vfdev != nil {
-		if m.vfdev.OpenCount() > 0 {
-			env.VFIO.Close(p, m.vfdev)
-		}
-		if m.container != nil {
-			// Container close unmaps every DMA mapping, unpins and frees
-			// the backing pages, and destroys the I/O address space.
-			if err := m.container.Close(p); err != nil {
-				return fmt.Errorf("teardown vm %d: %w", m.ID, err)
-			}
-			m.container = nil
-		}
-		m.vfdev = nil
+// CloseDevice closes the VFIO device fd if this VM holds it open. It is
+// the compensation for OpenDevice and is safe to call at any point of a
+// partially-completed startup.
+func (m *MicroVM) CloseDevice(p *sim.Proc) {
+	if m.vfdev != nil && m.vfdev.OpenCount() > 0 {
+		m.Env.VFIO.Close(p, m.vfdev)
 	}
-	if env.Lazy != nil {
-		env.Lazy.Release(m.VM.PID)
+}
+
+// UnmapGuestMemory closes the VFIO container: every DMA mapping is
+// unmapped, the backing pages unpinned and freed, and the I/O address
+// space destroyed. It is the compensation for MapGuestMemory and is safe
+// after a partial map — the container unwinds whatever subset of mappings
+// exists. The device fd must already be closed. Idempotent.
+func (m *MicroVM) UnmapGuestMemory(p *sim.Proc) error {
+	if m.container == nil {
+		return nil
 	}
-	env.KVM.DestroyVM(p, m.VM)
+	if err := m.container.Close(p); err != nil {
+		return fmt.Errorf("vm %d: unmap: %w", m.ID, err)
+	}
+	m.container = nil
 	m.ramRegion, m.imgRegion, m.fwRegion = nil, nil, nil
 	return nil
+}
+
+// Destroy releases fastiovd tracking and the KVM VM, returning any
+// demand-faulted pages to the host allocator. It is the compensation for
+// Start.
+func (m *MicroVM) Destroy(p *sim.Proc) {
+	if m.Env.Lazy != nil {
+		m.Env.Lazy.Release(m.VM.PID)
+	}
+	m.Env.KVM.DestroyVM(p, m.VM)
+}
+
+// Teardown releases everything: the device fd, DMA mappings, vhost
+// registrations, fastiovd state, demand pages, and backing regions. It is
+// best-effort: a failed unmap no longer aborts the remaining steps (demand
+// pages and vhost registrations are still reclaimed), and the error is
+// returned after everything reclaimable has been released.
+func (m *MicroVM) Teardown(p *sim.Proc) error {
+	m.CloseDevice(p)
+	err := m.UnmapGuestMemory(p)
+	m.vfdev = nil
+	m.UnregisterVhost()
+	m.Destroy(p)
+	return err
 }

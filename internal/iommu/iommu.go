@@ -66,6 +66,20 @@ func (u *IOMMU) DestroyDomain(d *Domain) {
 // PageSize returns the translation granule.
 func (u *IOMMU) PageSize() int64 { return u.pageSize }
 
+// Domains returns the number of live domains — a conservation input for
+// host-wide leak audits.
+func (u *IOMMU) Domains() int { return len(u.domains) }
+
+// TotalMappedPages returns the number of live translations summed across
+// all domains.
+func (u *IOMMU) TotalMappedPages() int {
+	total := 0
+	for _, d := range u.domains {
+		total += len(d.pt)
+	}
+	return total
+}
+
 // Map installs translations for a host memory region starting at iovaBase.
 // Pages are mapped in ascending IOVA order across the region's runs. The
 // per-PTE update cost models the page-table walk and IOTLB maintenance.

@@ -113,6 +113,23 @@ func (h *KVM) DestroyVM(p *sim.Proc, vm *VM) {
 	delete(h.vms, vm.PID)
 }
 
+// LiveVMs returns the number of VMs created and not yet destroyed — a
+// conservation input for host-wide leak audits.
+func (h *KVM) LiveVMs() int { return len(h.vms) }
+
+// DemandPages returns the total number of demand-faulted pages currently
+// backing live VMs. DestroyVM returns them to the host allocator, so after
+// a full teardown this must be zero.
+func (h *KVM) DemandPages() int {
+	total := 0
+	for _, vm := range h.vms {
+		for _, s := range vm.slots {
+			total += len(s.demand)
+		}
+	}
+	return total
+}
+
 // AddSlot attaches a memory slot. Slots must not overlap.
 func (vm *VM) AddSlot(name string, gpaBase, bytes int64, backing *hostmem.Region) (*MemSlot, error) {
 	ps := vm.mem.PageSize()

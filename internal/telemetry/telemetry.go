@@ -32,7 +32,8 @@ const (
 	StageVFIODev  Stage = "4-vfio-dev"
 	StageVFDriver Stage = "5-vf-driver"
 	StageAddCNI   Stage = "6-add-cni" // software-CNI device creation (Fig. 14)
-	StageRetry    Stage = "7-retry"   // backoff waits spent retrying injected faults
+	StageRetry    Stage = "7-retry"    // backoff waits spent retrying injected faults
+	StageRollback Stage = "8-rollback" // compensating rollback after a failed startup
 	StageOther    Stage = "other"
 )
 
@@ -276,6 +277,7 @@ var timelineGlyphs = map[Stage]byte{
 	StageVFDriver: '5',
 	StageAddCNI:   '6',
 	StageRetry:    '7',
+	StageRollback: '8',
 	StageOther:    '.',
 }
 

@@ -256,6 +256,19 @@ func (d *Driver) Lookup(pdev *pci.Device) (*Device, bool) {
 	return vd, ok
 }
 
+// RegisteredCount returns the number of devices currently registered — a
+// conservation input for host-wide leak audits.
+func (d *Driver) RegisteredCount() int { return len(d.devices) }
+
+// TotalOpens returns the host-wide sum of device fd open counts.
+func (d *Driver) TotalOpens() int {
+	total := 0
+	for _, vd := range d.devices {
+		total += vd.openCount
+	}
+	return total
+}
+
 // Open performs the device-open path of VF registration (§3.2.2): the
 // hypervisor obtains an fd for the device, which resets the function and
 // updates the devset open state. The locking discipline determines whether
