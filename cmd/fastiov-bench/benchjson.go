@@ -1,0 +1,103 @@
+// Machine-readable bench results: -json <path> writes every requested
+// experiment's outcome as a single JSON document in the fastiov-bench/v1
+// schema (documented in BENCH_SCHEMA.md), so the perf trajectory can be
+// recorded and diffed across commits.
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"fastiov/internal/stats"
+
+	"fastiov"
+)
+
+// benchSchema versions the document layout. Bump on incompatible change.
+const benchSchema = "fastiov-bench/v1"
+
+// benchFile is the top-level -json document.
+type benchFile struct {
+	Schema string `json:"schema"`
+	// GeneratedUnixMS is the wall-clock write time — the only
+	// non-deterministic field in the document.
+	GeneratedUnixMS int64        `json:"generated_unix_ms"`
+	Config          benchConfig  `json:"config"`
+	Results         []benchEntry `json:"results"`
+	Cache           benchCache   `json:"cache"`
+}
+
+// benchConfig echoes the CLI configuration the results were produced under.
+type benchConfig struct {
+	Experiments []string `json:"experiments"`
+	N           int      `json:"n"` // 0 = paper defaults
+	Seeds       []uint64 `json:"seeds"`
+	Workers     int      `json:"workers"`
+	Faults      string   `json:"faults,omitempty"`
+	Verified    bool     `json:"verify_determinism"`
+}
+
+// benchEntry is one experiment's outcome. Exactly one of Error or the
+// table/notes fields is meaningful: a failed experiment records its error
+// and nothing else.
+type benchEntry struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Columns and Rows are the experiment table: scenario parameters and
+	// scalar metrics (means carry 95% CI when sweeping seeds; durations are
+	// expressed in seconds on the typed cell fields). Text carries the
+	// rendered non-tabular body (timelines, dashboards) of experiments that
+	// have one.
+	Columns []string       `json:"columns,omitempty"`
+	Rows    [][]stats.Cell `json:"rows,omitempty"`
+	Text    string         `json:"text,omitempty"`
+	Notes   []string       `json:"notes,omitempty"`
+	WallMS  float64        `json:"wall_ms"`
+}
+
+// benchCache is the suite-wide scenario-cache traffic snapshot.
+type benchCache struct {
+	Runs     int `json:"sim_runs"`
+	Hits     int `json:"cache_hits"`
+	Verified int `json:"verified"`
+}
+
+// newBenchFile seeds the document with the run configuration.
+func newBenchFile(ids []string, n int, seeds []uint64, workers int, faults string, verified bool) *benchFile {
+	return &benchFile{
+		Schema:          benchSchema,
+		GeneratedUnixMS: time.Now().UnixMilli(),
+		Config: benchConfig{
+			Experiments: ids, N: n, Seeds: seeds, Workers: workers,
+			Faults: faults, Verified: verified,
+		},
+	}
+}
+
+// add records one experiment outcome.
+func (f *benchFile) add(id string, rep *fastiov.Report, runErr error, wall time.Duration) {
+	e := benchEntry{Experiment: id, WallMS: float64(wall.Microseconds()) / 1e3}
+	if runErr != nil {
+		e.Error = runErr.Error()
+	} else {
+		e.Title = rep.Title
+		e.Notes = rep.Notes
+		e.Text = rep.Text
+		if rep.Table != nil {
+			e.Columns = rep.Table.Header()
+			e.Rows = rep.Table.Cells()
+		}
+	}
+	f.Results = append(f.Results, e)
+}
+
+// writeTo marshals the document (indented, trailing newline) to path.
+func (f *benchFile) writeTo(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -77,6 +77,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON of one traced startup run to this file and exit (load in ui.perfetto.dev)")
 		traceBase  = fs.String("trace-baseline", "vanilla", "baseline for -trace")
 		contention = fs.Bool("contention", false, "shorthand for -experiment contention")
+		jsonPath   = fs.String("json", "", "also write machine-readable results (fastiov-bench/v1 schema, see BENCH_SCHEMA.md) to this file")
+		metricsOut = fs.String("metrics", "", "write an OpenMetrics snapshot of one metered startup run to this file and exit")
+		metricsCSV = fs.String("metrics-csv", "", "write the sampled per-metric time series of one metered startup run as CSV to this file and exit")
+		dashboard  = fs.Bool("dashboard", false, "print an ASCII host dashboard of one metered startup run and exit")
+		metricBase = fs.String("metrics-baseline", "vanilla", "baseline for -metrics/-metrics-csv/-dashboard")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -109,6 +114,47 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			*tracePath, *traceBase, tn)
 		return 0
 	}
+	if *metricsOut != "" || *metricsCSV != "" || *dashboard {
+		// Metrics export is a standalone mode, like -trace: one metered run
+		// of the startup scenario at the first seed, exported as an
+		// OpenMetrics snapshot, a CSV time series, a dashboard, or any
+		// combination. The bytes are a pure function of (baseline, n, seed).
+		mn := *n
+		if mn <= 0 {
+			mn = 50
+		}
+		reg, err := fastiov.StartupMetrics(*metricBase, mn, fastiov.SeedList(*seeds)[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "fastiov-bench: -metrics:", err)
+			return 1
+		}
+		writeExport := func(path, format string, export func(io.Writer) error) bool {
+			f, err := os.Create(path)
+			if err == nil {
+				err = export(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(stderr, "fastiov-bench: -metrics:", err)
+				return false
+			}
+			fmt.Fprintf(stdout, "wrote %s (%s, %s, %d containers, %d instruments, %d samples @ %v)\n",
+				path, format, *metricBase, mn, len(reg.IDs()), reg.Samples(), reg.Cadence())
+			return true
+		}
+		if *metricsOut != "" && !writeExport(*metricsOut, "OpenMetrics", reg.WriteOpenMetrics) {
+			return 1
+		}
+		if *metricsCSV != "" && !writeExport(*metricsCSV, "CSV time series", reg.WriteCSV) {
+			return 1
+		}
+		if *dashboard {
+			fmt.Fprintf(stdout, "%s, concurrency %d:\n%s", *metricBase, mn, reg.Dashboard(100))
+		}
+		return 0
+	}
 	if *contention {
 		*experiment = "contention"
 	}
@@ -139,22 +185,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*experiment, ",")
+		for _, id := range strings.Split(*experiment, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	var bench *benchFile
+	if *jsonPath != "" {
+		bench = newBenchFile(ids, *n, fastiov.SeedList(*seeds), *workers, *faults, *verify)
 	}
 
 	failed := 0
 	total := time.Now()
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		if *verify {
 			if err := suite.VerifyDeterminism(id, *n); err != nil {
 				fmt.Fprintf(stderr, "fastiov-bench: %s: determinism: %v\n", id, err)
+				if bench != nil {
+					bench.add(id, nil, err, time.Since(start))
+				}
 				failed++
 				continue
 			}
 		}
 		rep, err := suite.Run(id, *n)
+		if bench != nil {
+			bench.add(id, rep, err, time.Since(start))
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "fastiov-bench: %s: %v\n", id, err)
 			failed++
@@ -183,6 +240,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, ", %d verified", st.Verified)
 		}
 		fmt.Fprint(stdout, ")\n")
+	}
+	if bench != nil {
+		st := suite.CacheStats()
+		bench.Cache = benchCache{Runs: st.Runs, Hits: st.Hits, Verified: st.Verified}
+		if err := bench.writeTo(*jsonPath); err != nil {
+			fmt.Fprintln(stderr, "fastiov-bench: -json:", err)
+			failed++
+		} else {
+			fmt.Fprintf(stdout, "wrote %s (%s, %d experiments)\n", *jsonPath, benchSchema, len(bench.Results))
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "fastiov-bench: %d of %d experiments failed\n", failed, len(ids))

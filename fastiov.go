@@ -27,6 +27,7 @@ import (
 	"fastiov/internal/experiments"
 	"fastiov/internal/fault"
 	"fastiov/internal/locks"
+	"fastiov/internal/metrics"
 	"fastiov/internal/serverless"
 	"fastiov/internal/trace"
 	"fastiov/internal/zeromem"
@@ -51,6 +52,12 @@ type (
 	LeakReport = audit.Report
 	// Leak is one leaked conservation counter inside a LeakReport.
 	Leak = audit.Leak
+	// MetricSet is a sealed simulated-time metrics registry: per-metric time
+	// series covering one measured run, exportable as an OpenMetrics
+	// snapshot (WriteOpenMetrics), a CSV time-series dump (WriteCSV), or an
+	// ASCII multi-panel dashboard (Dashboard). Carried on Result.Metrics
+	// when Options.Metrics is set; see StartupMetrics for the one-call path.
+	MetricSet = metrics.Registry
 )
 
 // Re-exported real concurrency primitives.
@@ -145,6 +152,13 @@ type RunConfig struct {
 	// off; the recorded streams surface through the contention experiment
 	// and WriteStartupTrace.
 	Trace bool
+	// Metrics enables the simulated-time metrics registry on every
+	// simulation the suite runs: all host instruments are sampled on a
+	// simulated-time cadence and the determinism fingerprint gains a
+	// metrics digest covering every sampled value. Reports render
+	// byte-identically with metrics on or off; the sealed registries
+	// surface through the saturation experiment and StartupMetrics.
+	Metrics bool
 }
 
 // ValidateFaultSpec parses a fault-plan expression and reports the first
@@ -185,6 +199,7 @@ func NewSuite(cfg RunConfig) *Suite {
 	x := experiments.NewExec(cfg.Workers, cfg.Seeds)
 	x.SetVerify(cfg.VerifyDeterminism)
 	x.SetTrace(cfg.Trace)
+	x.SetMetrics(cfg.Metrics)
 	s := &Suite{cfg: cfg, x: x}
 	if cfg.FaultSpec != "" {
 		pl, err := fault.ParsePlan(cfg.FaultSpec)
@@ -240,7 +255,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	if err != nil {
 		return err
 	}
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)
@@ -282,6 +297,29 @@ func WriteStartupTrace(w io.Writer, baseline string, n int, seed uint64) error {
 		return err
 	}
 	return trace.WriteChrome(w, a, res.Recorder, trace.DefaultBinder)
+}
+
+// StartupMetrics boots the named baseline with the metrics registry
+// enabled, starts n containers at the given seed, and returns the sealed
+// registry: every host instrument sampled on the default simulated-time
+// cadence across the measured wave. The exported bytes (OpenMetrics, CSV,
+// dashboard) are a pure function of (baseline, n, seed).
+func StartupMetrics(baseline string, n int, seed uint64) (*MetricSet, error) {
+	opts, err := cluster.OptionsFor(baseline)
+	if err != nil {
+		return nil, err
+	}
+	opts.Seed = seed
+	opts.Metrics = true
+	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	if err != nil {
+		return nil, err
+	}
+	res := h.StartupExperiment(n)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res.Metrics, nil
 }
 
 // Experiments returns the full suite at its default configuration (serial,

@@ -23,6 +23,7 @@ import (
 	"fastiov/internal/hypervisor"
 	"fastiov/internal/iommu"
 	"fastiov/internal/kvm"
+	"fastiov/internal/metrics"
 	"fastiov/internal/nic"
 	"fastiov/internal/pci"
 	"fastiov/internal/sim"
@@ -108,6 +109,17 @@ type Options struct {
 	// Tracing never perturbs the simulation: virtual timings and rendered
 	// results are byte-identical with it on or off.
 	Trace bool
+
+	// Metrics attaches the simulated-time metrics registry: every substrate
+	// is instrumented and a sampler proc snapshots all instruments each
+	// MetricsCadence of simulated time (internal/metrics). Like tracing,
+	// metrics never perturb the simulation: virtual timings and rendered
+	// results are byte-identical with it on or off.
+	Metrics bool
+	// MetricsCadence overrides the sampling interval (<= 0 selects
+	// metrics.DefaultCadence). It shapes only the sampled series, never the
+	// simulation itself.
+	MetricsCadence time.Duration
 
 	// Faults attaches a deterministic fault-injection plan to every
 	// substrate of the host. A nil or all-zero plan builds no injector and
@@ -283,6 +295,9 @@ type Host struct {
 	Rec  *telemetry.Recorder
 	// Tracer records the kernel's probe stream (nil unless Opts.Trace).
 	Tracer *trace.Trace
+	// Metrics is the host's instrument registry (nil unless Opts.Metrics).
+	// It is sealed at the end of the first measured wave.
+	Metrics *metrics.Registry
 	// Faults is the host-wide injector (nil when Opts.Faults is empty).
 	Faults *fault.Injector
 
@@ -293,6 +308,17 @@ type Host struct {
 	RTNL       *sim.Mutex
 	CgroupLock *sim.Mutex
 	IrqLock    *sim.Mutex
+
+	// wave counts container lifecycle transitions for the cluster gauges;
+	// pure bookkeeping, maintained whether or not metrics are attached.
+	wave struct {
+		inflight int
+		started  int
+		failed   int
+	}
+	// startupHist is the cluster_startup_seconds histogram (nil unless
+	// metrics are attached).
+	startupHist *metrics.Histogram
 }
 
 // auditSystem bundles the host's substrates for conservation snapshots.
@@ -418,6 +444,17 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		Faults:       h.Faults,
 		Retry:        pol,
 	})
+	// Metrics attach last, once every substrate exists: instruments are
+	// read-only closures over substrate state, the probe observer chains
+	// behind any tracer, and the sampler daemon starts ticking at t=0.
+	// None of this consumes simulated time or PRNG draws — a metrics-on
+	// run stays byte-identical to a metrics-off run.
+	if opts.Metrics {
+		h.Metrics = metrics.New(opts.MetricsCadence)
+		h.attachMetrics()
+		k.ChainProbe(h.Metrics.Observer())
+		h.Metrics.Start(k)
+	}
 	// The baseline is taken after boot-time VF binding and pre-zeroing so
 	// it reflects the steady idle state every experiment must return to.
 	h.Baseline = h.AuditSnapshot()
@@ -434,7 +471,11 @@ type Result struct {
 	Sandboxes []*cri.Sandbox
 	// Trace is the recorded event stream (nil unless Options.Trace).
 	Trace *trace.Trace
-	Err   error
+	// Metrics is the sealed instrument registry (nil unless
+	// Options.Metrics): per-metric time series covering the measured wave,
+	// ready for OpenMetrics/CSV/dashboard export.
+	Metrics *metrics.Registry
+	Err     error
 
 	// Started counts launched containers; Failed counts those lost to
 	// injected faults after the retry budget ran out (their unfinished
@@ -483,10 +524,11 @@ func (r *Result) SuccessRate() float64 {
 func (h *Host) StartupExperiment(n int) *Result {
 	res := h.startupWave(n, 0)
 	if h.Opts.Audit {
-		// Detach the tracer before teardown: the recorded stream (and hence
-		// the lock-contention profile and trace fingerprint) covers exactly
-		// the measured startup phase, byte-identical to an unaudited run.
-		if h.Tracer != nil {
+		// Detach the probe before teardown: the recorded trace stream and
+		// the sealed metrics registry (and hence their fingerprints) cover
+		// exactly the measured startup phase, byte-identical to an
+		// unaudited run.
+		if h.Tracer != nil || h.Metrics != nil {
 			h.K.SetProbe(nil)
 		}
 		if err := h.stopAll(res.Live(), nil); err != nil {
@@ -510,10 +552,15 @@ func (h *Host) startupWave(n, base int) *Result {
 		id := base + i
 		at := h.K.Now() + arrivals[i]
 		h.K.GoAt(at, fmt.Sprintf("ctr-%d", id), func(p *sim.Proc) {
+			h.wave.started++
+			h.wave.inflight++
+			began := p.Now()
 			sb, err := h.Eng.RunPodSandbox(p, id)
+			h.wave.inflight--
 			if err != nil {
 				if fault.IsFault(err) {
 					res.Failed++
+					h.wave.failed++
 				} else {
 					// Aggregate every genuine error: a concurrent wave can
 					// surface several and dropping all but the first hides
@@ -522,10 +569,19 @@ func (h *Host) startupWave(n, base int) *Result {
 				}
 				return
 			}
+			if h.startupHist != nil {
+				h.startupHist.Observe(time.Duration(p.Now() - began).Seconds())
+			}
 			sandboxes[i] = sb
 		})
 	}
 	h.K.Run()
+	if h.Metrics != nil {
+		// Seal at quiesce: the series covers exactly the measured wave
+		// (churn's later waves and any audit teardown stay unobserved).
+		h.Metrics.Seal(h.K.Now())
+		res.Metrics = h.Metrics
+	}
 	res.Err = errors.Join(errs...)
 	res.Sandboxes = sandboxes
 	res.Trace = h.Tracer

@@ -33,6 +33,11 @@ type Exec struct {
 	// the critical-path decomposition, but render identically to untraced
 	// runs; the contention experiment pins tracing on regardless.
 	trace bool
+	// metrics enables the simulated-time metrics registry on every spec
+	// that does not pin its own setting. Metered runs carry a sealed
+	// registry on the result but render identically to unmetered runs; the
+	// saturation experiment pins metrics on regardless.
+	metrics bool
 }
 
 // NewExec returns an executor with the given worker count (<= 0 selects
@@ -86,6 +91,11 @@ func (x *Exec) Faults() *fault.Plan { return x.faults }
 // untraced runs of the same scenario never share results.
 func (x *Exec) SetTrace(v bool) { x.trace = v }
 
+// SetMetrics enables the simulated-time metrics registry for every spec
+// that does not pin its own setting. Metrics participate in cache keys, so
+// metered and unmetered runs of the same scenario never share results.
+func (x *Exec) SetMetrics(v bool) { x.metrics = v }
+
 // CacheStats aliases the pool's traffic counters so callers above the
 // experiments layer need not import the harness directly.
 type CacheStats = harness.Stats
@@ -124,10 +134,17 @@ type startupSpec struct {
 	// executor-wide setting (see Exec.SetTrace); the contention experiment
 	// pins true.
 	Trace *bool
+	// Metrics pins the simulated-time metrics registry for this spec. Nil
+	// inherits the executor-wide setting (see Exec.SetMetrics); the
+	// saturation experiment pins true.
+	Metrics *bool
 }
 
 // traced resolves the effective tracing setting after inheritance.
 func (s startupSpec) traced() bool { return s.Trace != nil && *s.Trace }
+
+// metered resolves the effective metrics setting after inheritance.
+func (s startupSpec) metered() bool { return s.Metrics != nil && *s.Metrics }
 
 // params canonically encodes the spec for the cache key.
 func (s startupSpec) params() string {
@@ -150,6 +167,9 @@ func (s startupSpec) params() string {
 	}
 	if s.traced() {
 		b.WriteString(" trace")
+	}
+	if s.metered() {
+		b.WriteString(" metrics")
 	}
 	return b.String()
 }
@@ -174,6 +194,7 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 	}
 	opts.Faults = s.Faults
 	opts.Trace = s.traced()
+	opts.Metrics = s.metered()
 	// Every harness run is audited: after measurement the surviving
 	// sandboxes are stopped and the host's conservation counters diffed
 	// against the boot baseline. The teardown phase runs after all
@@ -238,6 +259,14 @@ func fingerprintResult(v any) ([]byte, error) {
 	// verification extends down to individual lock handoffs.
 	if res.Trace != nil {
 		b = fmt.Appendf(b, "trace events=%d fp=%016x\n", res.Trace.Len(), res.Trace.Fingerprint())
+	}
+	// The metrics digest joins the fingerprint only for metered runs,
+	// keeping unmetered fingerprints byte-identical to their
+	// pre-metrics-layer encoding. The digest covers the canonical
+	// OpenMetrics and CSV exports, so determinism verification extends down
+	// to every sampled value.
+	if res.Metrics != nil {
+		b = fmt.Appendf(b, "metrics samples=%d fp=%016x\n", res.Metrics.Samples(), res.Metrics.Fingerprint())
 	}
 	return res.Recorder.AppendCanonical(b), nil
 }
@@ -306,6 +335,10 @@ func (x *Exec) startups(specs []startupSpec) ([]*MultiResult, error) {
 			tv := x.trace
 			sp.Trace = &tv
 		}
+		if sp.Metrics == nil {
+			mv := x.metrics
+			sp.Metrics = &mv
+		}
 		for _, seed := range x.seeds {
 			seed := seed
 			jobs = append(jobs, harness.Job{
@@ -357,9 +390,14 @@ type serverlessSpec struct {
 	// Trace pins event-sourced tracing; nil inherits the executor-wide
 	// setting (see startupSpec.Trace).
 	Trace *bool
+	// Metrics pins the metrics registry; nil inherits the executor-wide
+	// setting (see startupSpec.Metrics).
+	Metrics *bool
 }
 
 func (s serverlessSpec) traced() bool { return s.Trace != nil && *s.Trace }
+
+func (s serverlessSpec) metered() bool { return s.Metrics != nil && *s.Metrics }
 
 func (s serverlessSpec) params() string {
 	var b strings.Builder
@@ -375,6 +413,9 @@ func (s serverlessSpec) params() string {
 	}
 	if s.traced() {
 		b.WriteString(" trace")
+	}
+	if s.metered() {
+		b.WriteString(" metrics")
 	}
 	return b.String()
 }
@@ -393,6 +434,7 @@ func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
 	}
 	opts.Faults = s.Faults
 	opts.Trace = s.traced()
+	opts.Metrics = s.metered()
 	// Harness serverless runs audit too: completed sandboxes are stopped
 	// after the sample is taken and the conservation counters checked (see
 	// startupSpec.run).
@@ -461,6 +503,10 @@ func (x *Exec) serverlessRuns(specs []serverlessSpec) ([]*MultiSample, error) {
 		if sp.Trace == nil {
 			tv := x.trace
 			sp.Trace = &tv
+		}
+		if sp.Metrics == nil {
+			mv := x.metrics
+			sp.Metrics = &mv
 		}
 		for _, seed := range x.seeds {
 			seed := seed

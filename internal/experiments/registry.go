@@ -107,6 +107,9 @@ func Registry() []Entry {
 		{"recovery", "Transactional startup: crash churn and leak audit", func(x *Exec, n int) (*Report, error) {
 			return x.Recovery(pick(n, 30))
 		}},
+		{"saturation", "Host saturation time series: devset queue and membw", func(x *Exec, n int) (*Report, error) {
+			return x.Saturation(pick(n, DefaultConcurrency))
+		}},
 	}
 }
 

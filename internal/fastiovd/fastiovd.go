@@ -192,6 +192,10 @@ func (m *Module) TrackedTotal() int {
 	return n
 }
 
+// ScrubQueueLen returns the length of the background scrub list — the
+// deferred pages queued for the scrubber thread, in registration order.
+func (m *Module) ScrubQueueLen() int { return len(m.scrubQueue) }
+
 // Release drops pid's table without zeroing (VM teardown: the pages return
 // to the allocator dirty and are re-zeroed for their next owner).
 func (m *Module) Release(pid int) { delete(m.tables, pid) }

@@ -141,8 +141,10 @@ type Allocator struct {
 	allocated []bool
 	pinned    []int32 // pin refcount per page
 
-	freeHead int64 // scan cursor: lowest possibly-free page
-	freeCnt  int64
+	freeHead  int64 // scan cursor: lowest possibly-free page
+	freeCnt   int64
+	dirtyCnt  int64 // pages currently in state Dirty (O(1) gauge)
+	pinnedCnt int64 // pages with a live pin refcount (O(1) gauge)
 
 	zoneLock *sim.Mutex    // protects the free list (Linux zone->lock)
 	membw    *sim.Resource // zeroing bandwidth streams
@@ -182,6 +184,7 @@ func New(k *sim.Kernel, cfg Config) *Allocator {
 		allocated: make([]bool, pages),
 		pinned:    make([]int32, pages),
 		freeCnt:   pages,
+		dirtyCnt:  pages,
 		zoneLock:  sim.NewMutex(ZoneLockName),
 		membw:     sim.NewResource(MemBWName, cfg.ZeroStreams),
 	}
@@ -195,6 +198,26 @@ func (a *Allocator) TotalPages() int64 { return a.pages }
 
 // FreePages returns the number of free pages.
 func (a *Allocator) FreePages() int64 { return a.freeCnt }
+
+// DirtyPages returns the number of pages holding residual data — the
+// dirty-page backlog the zeroing machinery must clear before reuse.
+func (a *Allocator) DirtyPages() int64 { return a.dirtyCnt }
+
+// markState transitions a page's content state, maintaining the dirty-page
+// backlog counter.
+func (a *Allocator) markState(page int64, s ContentState) {
+	old := a.state[page]
+	if old == s {
+		return
+	}
+	if old == Dirty {
+		a.dirtyCnt--
+	}
+	if s == Dirty {
+		a.dirtyCnt++
+	}
+	a.state[page] = s
+}
 
 // pagesFor rounds bytes up to whole pages.
 func (a *Allocator) pagesFor(bytes int64) int64 {
@@ -263,7 +286,7 @@ func (a *Allocator) Free(p *sim.Proc, region *Region) {
 			panic(fmt.Sprintf("hostmem: freeing pinned page %d", pg))
 		}
 		a.allocated[pg] = false
-		a.state[pg] = Dirty
+		a.markState(pg, Dirty)
 		a.freeCnt++
 		if pg < a.freeHead {
 			a.freeHead = pg
@@ -279,7 +302,7 @@ func (a *Allocator) ZeroPage(p *sim.Proc, page int64) {
 	}
 	d := a.Faults.Inflate(fault.SiteMemBW, time.Duration(int64(time.Second)*a.cfg.PageSize/a.cfg.ZeroBytesPerSec))
 	a.membw.Use(p, 1, d)
-	a.state[page] = Zeroed
+	a.markState(page, Zeroed)
 	a.ZeroedBytes += a.cfg.PageSize
 }
 
@@ -303,7 +326,7 @@ func (a *Allocator) ZeroRegion(p *sim.Proc, region *Region) {
 			d := a.Faults.Inflate(fault.SiteMemBW, time.Duration(int64(time.Second)*n*a.cfg.PageSize/a.cfg.ZeroBytesPerSec))
 			a.membw.Use(p, 1, d)
 			for k := i; k < j; k++ {
-				a.state[k] = Zeroed
+				a.markState(k, Zeroed)
 			}
 			a.ZeroedBytes += n * a.cfg.PageSize
 			i = j
@@ -315,7 +338,12 @@ func (a *Allocator) ZeroRegion(p *sim.Proc, region *Region) {
 // cost (Fig. 6 "pinning"). Pinned pages cannot be freed or migrated.
 func (a *Allocator) Pin(p *sim.Proc, region *Region) {
 	n := region.PageCount()
-	region.Pages(func(pg int64) { a.pinned[pg]++ })
+	region.Pages(func(pg int64) {
+		if a.pinned[pg] == 0 {
+			a.pinnedCnt++
+		}
+		a.pinned[pg]++
+	})
 	if d := time.Duration(n) * a.cfg.PinCostPerPage; d > 0 {
 		p.Sleep(d)
 	}
@@ -328,6 +356,9 @@ func (a *Allocator) Unpin(p *sim.Proc, region *Region) {
 			panic(fmt.Sprintf("hostmem: unpin of unpinned page %d", pg))
 		}
 		a.pinned[pg]--
+		if a.pinned[pg] == 0 {
+			a.pinnedCnt--
+		}
 	})
 }
 
@@ -335,16 +366,9 @@ func (a *Allocator) Unpin(p *sim.Proc, region *Region) {
 func (a *Allocator) Pinned(page int64) bool { return a.pinned[page] > 0 }
 
 // PinnedPages returns the number of pages with a live pin refcount — a
-// conservation input for host-wide leak audits.
-func (a *Allocator) PinnedPages() int64 {
-	var n int64
-	for _, c := range a.pinned {
-		if c > 0 {
-			n++
-		}
-	}
-	return n
-}
+// conservation input for host-wide leak audits and an O(1) gauge for the
+// metrics sampler.
+func (a *Allocator) PinnedPages() int64 { return a.pinnedCnt }
 
 // State returns a page's content state.
 func (a *Allocator) State(page int64) ContentState { return a.state[page] }
@@ -356,7 +380,7 @@ func (a *Allocator) State(page int64) ContentState { return a.state[page] }
 // dirty page would still leak; the protocols under test must zero first
 // when the writer is not the guest's security domain. We model whole-page
 // semantics: the caller decides whether zeroing must precede the write.
-func (a *Allocator) WriteData(page int64) { a.state[page] = Written }
+func (a *Allocator) WriteData(page int64) { a.markState(page, Written) }
 
 // GuestRead models the guest (the tenant's security domain) reading a page.
 // Reading residual data from a previous tenant is a containment failure and
@@ -381,7 +405,7 @@ func (a *Allocator) PreZero(fraction float64) {
 	target := int64(float64(a.freeCnt) * fraction)
 	for i := int64(0); i < a.pages && target > 0; i++ {
 		if !a.allocated[i] && a.state[i] == Dirty {
-			a.state[i] = Zeroed
+			a.markState(i, Zeroed)
 			target--
 		}
 	}

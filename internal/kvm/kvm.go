@@ -34,6 +34,10 @@ type KVM struct {
 	// Hook, when non-nil, runs during every EPT violation.
 	Hook FaultHook
 
+	// TotalFaults counts EPT violations across all VMs, live and exited —
+	// the module-wide counter the metrics sampler reads.
+	TotalFaults int
+
 	nextPID int
 	vms     map[int]*VM
 }
@@ -202,6 +206,7 @@ func (vm *VM) Touch(p *sim.Proc, gpa int64, write bool) error {
 		}
 		vm.ept[gpaPage] = hpa
 		vm.Faults++
+		vm.kvm.TotalFaults++
 		p.Sleep(vm.kvm.EPTFaultCost)
 	} else {
 		vm.Hits++

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// isNameStart / isNameRune define the OpenMetrics metric-name alphabet.
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+func isNameRune(b byte) bool { return isNameStart(b) || (b >= '0' && b <= '9') }
+
+// parseSampleLine validates one exposition sample line:
+//
+//	name[{key="value",...}] value
+//
+// with the label value allowing any byte except raw newline, raw '"' and
+// bare '\' (escapes \\ \" \n only). Returns an error describing the first
+// violation.
+func parseSampleLine(line string) error {
+	i := 0
+	if i >= len(line) || !isNameStart(line[i]) {
+		return fmt.Errorf("bad name start")
+	}
+	for i < len(line) && isNameRune(line[i]) {
+		i++
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			start := i
+			if i < len(line) && !(line[i] == '_' || (line[i] >= 'a' && line[i] <= 'z') || (line[i] >= 'A' && line[i] <= 'Z')) {
+				return fmt.Errorf("bad label key start at %d", i)
+			}
+			for i < len(line) && (line[i] == '_' || (line[i] >= 'a' && line[i] <= 'z') || (line[i] >= 'A' && line[i] <= 'Z') || (line[i] >= '0' && line[i] <= '9')) {
+				i++
+			}
+			if i == start {
+				return fmt.Errorf("empty label key at %d", i)
+			}
+			if i+1 >= len(line) || line[i] != '=' || line[i+1] != '"' {
+				return fmt.Errorf("missing =\" at %d", i)
+			}
+			i += 2
+			for i < len(line) && line[i] != '"' {
+				if line[i] == '\\' {
+					i++
+					if i >= len(line) || (line[i] != '\\' && line[i] != '"' && line[i] != 'n') {
+						return fmt.Errorf("bad escape at %d", i)
+					}
+				}
+				i++
+			}
+			if i >= len(line) {
+				return fmt.Errorf("unterminated label value")
+			}
+			i++ // closing quote
+			if i < len(line) && line[i] == ',' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(line) || line[i] != '}' {
+			return fmt.Errorf("missing } at %d", i)
+		}
+		i++
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return fmt.Errorf("missing value separator at %d", i)
+	}
+	val := line[i+1:]
+	if val == "+Inf" || val == "-Inf" {
+		return nil
+	}
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return fmt.Errorf("bad value %q: %v", val, err)
+	}
+	return nil
+}
+
+// validateExposition checks an entire OpenMetrics text snapshot: every line
+// is a HELP/TYPE comment or a valid sample, and the snapshot ends with a
+// single # EOF.
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing # EOF terminator:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	for n, line := range lines {
+		switch {
+		case line == "# EOF":
+			if n != len(lines)-1 {
+				t.Fatalf("line %d: # EOF before end", n+1)
+			}
+		case strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE "):
+			rest := line[len("# HELP "):]
+			sp := strings.IndexByte(rest, ' ')
+			name := rest
+			if sp >= 0 {
+				name = rest[:sp]
+			}
+			if name == "" || !isNameStart(name[0]) {
+				t.Fatalf("line %d: bad family name %q", n+1, name)
+			}
+			for j := 1; j < len(name); j++ {
+				if !isNameRune(name[j]) {
+					t.Fatalf("line %d: bad family name %q", n+1, name)
+				}
+			}
+		default:
+			if err := parseSampleLine(line); err != nil {
+				t.Fatalf("line %d %q: %v", n+1, line, err)
+			}
+		}
+	}
+}
+
+// FuzzOpenMetrics is the satellite escaping fuzzer: arbitrary instrument
+// names, help strings, and label keys/values must never produce an
+// unparseable exposition — names sanitize onto the legal alphabet, label
+// values escape cleanly, and the document always terminates with # EOF.
+func FuzzOpenMetrics(f *testing.F) {
+	f.Add("ok_name", "help text", "key", "value")
+	f.Add("", "", "", "")
+	f.Add("9lead-with.bad", "multi\nline\\help", "bad key", "v\"1\n\\2")
+	f.Add("héllo wörld", "ünïcode", "λ", "∞")
+	f.Add("a{b}", "brace", "le", `\`)
+	f.Add("x", "h", "k", "trailing\\")
+	f.Fuzz(func(t *testing.T, name, help, lkey, lval string) {
+		r := New(0)
+		v := 1.5
+		r.GaugeFunc(name, help, []Label{{lkey, lval}}, func() float64 { return v })
+		r.CounterFunc(name+"_total", help, nil, func() float64 { return 2 })
+		h := r.NewHistogram(name+"_hist", help, []Label{{lkey, lval}}, []float64{0.5, 1})
+		h.Observe(0.2)
+		h.Observe(3)
+		r.sample(0)
+		r.Seal(0)
+		var b bytes.Buffer
+		if err := r.WriteOpenMetrics(&b); err != nil {
+			t.Fatal(err)
+		}
+		validateExposition(t, b.String())
+		var c bytes.Buffer
+		if err := r.WriteOpenMetrics(&c); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b.Bytes(), c.Bytes()) {
+			t.Fatal("repeated exports differ")
+		}
+	})
+}

@@ -112,6 +112,22 @@ type ProbeEvent struct {
 // the scheduler.
 func (k *Kernel) SetProbe(fn func(at Duration, ev ProbeEvent)) { k.probe = fn }
 
+// ChainProbe installs fn downstream of any already-installed probe: each
+// event is delivered first to the existing probe, then to fn. This lets
+// independent observers (tracing, metrics) share the single probe slot.
+// Like SetProbe, it must be called before any simulated work runs.
+func (k *Kernel) ChainProbe(fn func(at Duration, ev ProbeEvent)) {
+	prev := k.probe
+	if prev == nil {
+		k.probe = fn
+		return
+	}
+	k.probe = func(at Duration, ev ProbeEvent) {
+		prev(at, ev)
+		fn(at, ev)
+	}
+}
+
 // emit delivers one probe event at the current virtual time. Emissions are
 // suppressed during abort: the unwind of parked goroutines (deferred
 // releases, stale wakeups) happens after the simulation has quiesced and is

@@ -219,10 +219,20 @@ func (sum Summary) String() string {
 type Table struct {
 	header []string
 	rows   [][]string
+	// raw keeps the pre-formatted cell values so machine-readable exports
+	// (fastiov-bench -json) can emit typed values alongside the rendered
+	// text.
+	raw [][]any
 }
 
 // NewTable creates a table with the given column headers.
 func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Header returns the column headers (not a copy).
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
 
 // AddRow appends a row; cells are formatted with %v.
 func (t *Table) AddRow(cells ...any) {
@@ -240,6 +250,51 @@ func (t *Table) AddRow(cells ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.raw = append(t.raw, append([]any(nil), cells...))
+}
+
+// Cell is one machine-readable table cell: always the rendered text, plus
+// the typed value when the cell carries one. Durations and estimates are
+// expressed in seconds so downstream tooling never parses unit suffixes.
+type Cell struct {
+	Text string `json:"text"`
+	// Seconds is set for durations and estimates (the mean for estimates).
+	Seconds *float64 `json:"seconds,omitempty"`
+	// CISeconds is the 95% confidence half-width, set for estimates.
+	CISeconds *float64 `json:"ci_seconds,omitempty"`
+	// Value is set for plain numeric cells.
+	Value *float64 `json:"value,omitempty"`
+}
+
+// Cells returns the table body as typed machine-readable cells, row-major,
+// aligned with Header().
+func (t *Table) Cells() [][]Cell {
+	f := func(v float64) *float64 { return &v }
+	out := make([][]Cell, len(t.raw))
+	for i, row := range t.raw {
+		cells := make([]Cell, len(row))
+		for j, c := range row {
+			cell := Cell{Text: t.rows[i][j]}
+			switch v := c.(type) {
+			case time.Duration:
+				cell.Seconds = f(v.Seconds())
+			case Estimate:
+				cell.Seconds = f(v.Mean.Seconds())
+				cell.CISeconds = f(v.Half.Seconds())
+			case float64:
+				cell.Value = f(v)
+			case int:
+				cell.Value = f(float64(v))
+			case int64:
+				cell.Value = f(float64(v))
+			case uint64:
+				cell.Value = f(float64(v))
+			}
+			cells[j] = cell
+		}
+		out[i] = cells
+	}
+	return out
 }
 
 // String renders the table with aligned columns. Widths count runes, not
