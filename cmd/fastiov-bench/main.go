@@ -11,6 +11,8 @@
 //	fastiov-bench -experiment tab1 -faults "vfio-reset:p=0.1;crash@dma:p=0.2"
 //	fastiov-bench -experiment recovery
 //	fastiov-bench -contention -n 100
+//	fastiov-bench -fleet -hosts 100 -n 20
+//	fastiov-bench -fleet -policy vf-aware
 //	fastiov-bench -trace out.json -n 50
 //
 // With -n <= 0 every experiment runs at its paper-default parameters
@@ -77,6 +79,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tracePath  = fs.String("trace", "", "write a Chrome trace-event JSON of one traced startup run to this file and exit (load in ui.perfetto.dev)")
 		traceBase  = fs.String("trace-baseline", "vanilla", "baseline for -trace")
 		contention = fs.Bool("contention", false, "shorthand for -experiment contention")
+		fleetRun   = fs.Bool("fleet", false, "shorthand for -experiment fleet")
+		hosts      = fs.Int("hosts", 0, "fleet experiment host count (<=0 = paper-scale default)")
+		policy     = fs.String("policy", "", "restrict the fleet experiment to one placement policy (random|rr|least-loaded|vf-aware; empty sweeps all)")
 		jsonPath   = fs.String("json", "", "also write machine-readable results (fastiov-bench/v1 schema, see BENCH_SCHEMA.md) to this file")
 		metricsOut = fs.String("metrics", "", "write an OpenMetrics snapshot of one metered startup run to this file and exit")
 		metricsCSV = fs.String("metrics-csv", "", "write the sampled per-metric time series of one metered startup run as CSV to this file and exit")
@@ -158,6 +163,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *contention {
 		*experiment = "contention"
 	}
+	if *fleetRun {
+		*experiment = "fleet"
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(stderr, "fastiov-bench:", err)
@@ -170,6 +178,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Seeds:             fastiov.SeedList(*seeds),
 		VerifyDeterminism: *verify,
 		FaultSpec:         *faults,
+		Fleet:             fastiov.FleetConfig{Hosts: *hosts, Policy: *policy},
 	})
 	entries := suite.Experiments()
 	if *list {

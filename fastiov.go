@@ -26,6 +26,7 @@ import (
 	"fastiov/internal/cluster"
 	"fastiov/internal/experiments"
 	"fastiov/internal/fault"
+	"fastiov/internal/fleet"
 	"fastiov/internal/locks"
 	"fastiov/internal/metrics"
 	"fastiov/internal/serverless"
@@ -159,7 +160,23 @@ type RunConfig struct {
 	// byte-identically with metrics on or off; the sealed registries
 	// surface through the saturation experiment and StartupMetrics.
 	Metrics bool
+	// Fleet sizes the fleet experiment (the cluster-level placement sweep):
+	// zero values keep the paper-scale defaults.
+	Fleet FleetConfig
 }
+
+// FleetConfig parameterizes the fleet experiment.
+type FleetConfig struct {
+	// Hosts overrides the fleet's host count; <= 0 keeps the paper-scale
+	// default (100 heterogeneous hosts).
+	Hosts int
+	// Policy restricts the sweep to one placement policy (see
+	// FleetPolicies); empty sweeps all of them.
+	Policy string
+}
+
+// FleetPolicies lists the placement policies the fleet experiment sweeps.
+func FleetPolicies() []string { return fleet.Policies() }
 
 // ValidateFaultSpec parses a fault-plan expression and reports the first
 // grammar error, if any. The grammar is semicolon-separated site clauses:
@@ -200,6 +217,7 @@ func NewSuite(cfg RunConfig) *Suite {
 	x.SetVerify(cfg.VerifyDeterminism)
 	x.SetTrace(cfg.Trace)
 	x.SetMetrics(cfg.Metrics)
+	x.SetFleet(cfg.Fleet.Hosts, cfg.Fleet.Policy)
 	s := &Suite{cfg: cfg, x: x}
 	if cfg.FaultSpec != "" {
 		pl, err := fault.ParsePlan(cfg.FaultSpec)
@@ -255,7 +273,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	if err != nil {
 		return err
 	}
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)

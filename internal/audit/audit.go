@@ -93,6 +93,30 @@ func Capture(s System) Snapshot {
 	return snap
 }
 
+// Sum adds snapshots counter by counter. A fleet audits N hosts by summing
+// their per-host baselines and their per-host post-run snapshots: the diff
+// of the sums is the fleet-wide conservation report, and it is identically
+// zero exactly when every host returned every resource it handed out
+// (hosts are isolated, so leaks cannot cancel across them — but the
+// per-host reports are kept alongside to prove it).
+func Sum(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out.FreeVFs += s.FreeVFs
+		out.FreePages += s.FreePages
+		out.PinnedPages += s.PinnedPages
+		out.IOMMUDomains += s.IOMMUDomains
+		out.IOMMUMappedPages += s.IOMMUMappedPages
+		out.VFIORegistered += s.VFIORegistered
+		out.DevsetOpens += s.DevsetOpens
+		out.KVMLiveVMs += s.KVMLiveVMs
+		out.KVMDemandPages += s.KVMDemandPages
+		out.VhostRegistrations += s.VhostRegistrations
+		out.LazyTracked += s.LazyTracked
+	}
+	return out
+}
+
 // Leak is one violated conservation invariant: a counter that did not
 // return to its baseline value.
 type Leak struct {

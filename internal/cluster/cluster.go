@@ -69,6 +69,15 @@ type Options struct {
 	Name    string
 	Network NetworkMode
 
+	// Scope prefixes every sim-primitive name the host creates (zone lock,
+	// membw resource, vfio devset/device locks, rtnl, cgroup, irq-routing,
+	// cpu, the NIC link). Fleets booting many hosts into one shared kernel
+	// give each host a unique scope (e.g. "h003-") so name-matching
+	// observers — trace contention profiles, metrics resource and lock-queue
+	// watchers — attribute events to the right host. The empty default keeps
+	// every historical name, so single-host runs are byte-identical.
+	Scope string
+
 	// The four FastIOV optimizations (§6.1's ablation removes them one at
 	// a time).
 	LockDecomposition bool // L: parent-child devset locking
@@ -159,8 +168,10 @@ type Arrival struct {
 	Window     time.Duration // uniform spread
 }
 
-// times generates n arrival offsets under the configured process.
-func (a Arrival) times(rng *sim.Rand, n int, jitter time.Duration) []time.Duration {
+// Times generates n arrival offsets under the configured process, drawing
+// from the given PRNG stream (exported for the fleet layer, which drives
+// its own arrival process over a shared kernel).
+func (a Arrival) Times(rng *sim.Rand, n int, jitter time.Duration) []time.Duration {
 	out := make([]time.Duration, n)
 	switch a.Kind {
 	case ArrivalPoisson:
@@ -282,6 +293,11 @@ type Host struct {
 	Spec HostSpec
 	Opts Options
 
+	// rng is the host's private PRNG stream (arrival jitter). A standalone
+	// host uses its kernel's stream; fleet hosts sharing one kernel each
+	// get a derived stream (sim.SplitSeed) so their draws never collide.
+	rng *sim.Rand
+
 	Mem  *hostmem.Allocator
 	Topo *pci.Topology
 	NIC  *nic.NIC
@@ -334,20 +350,40 @@ func (h *Host) AuditSnapshot() audit.Snapshot { return audit.Capture(h.auditSyst
 
 // NewHost boots a machine: creates the hardware, pre-creates the VFs, and
 // binds them to the driver the configuration requires (vfio-pci once at
-// boot for the fixed CNIs; unbound for the flawed rebinding CNI).
+// boot for the fixed CNIs; unbound for the flawed rebinding CNI). The host
+// owns a private kernel seeded from Options.Seed; to boot several hosts
+// into one shared kernel use NewHostOn.
 func NewHost(spec HostSpec, opts Options) (*Host, error) {
 	k := sim.NewKernel(opts.Seed)
+	return NewHostOn(k, k.Rand(), spec, opts)
+}
+
+// NewHostOn boots a machine onto an externally owned kernel and PRNG
+// stream. This is the re-enterable constructor beneath NewHost: a fleet
+// boots N hosts into one shared kernel, handing each a derived stream
+// (sim.SplitSeed) and a unique Options.Scope so the hosts' events
+// interleave deterministically without sharing or colliding PRNG state.
+// When rng is the kernel's own stream and Scope is empty the boot is
+// byte-identical to the historical single-host path.
+func NewHostOn(k *sim.Kernel, rng *sim.Rand, spec HostSpec, opts Options) (*Host, error) {
+	if opts.Scope != "" {
+		// Scope the NIC too: its link resource (and the PCI device names
+		// derived from the card name) must be host-unique under a shared
+		// kernel for the same reason the locks are.
+		spec.NIC.Name = opts.Scope + spec.NIC.Name
+	}
 	h := &Host{
 		K:          k,
 		Spec:       spec,
 		Opts:       opts,
-		Mem:        hostmem.New(k, spec.Memory),
+		rng:        rng,
+		Mem:        hostmem.NewScoped(k, spec.Memory, opts.Scope),
 		Topo:       pci.NewTopology(),
-		CPU:        sim.NewResource("cpu", spec.Cores),
+		CPU:        sim.NewResource(opts.Scope+"cpu", spec.Cores),
 		Rec:        telemetry.NewRecorder(),
-		RTNL:       sim.NewMutex("rtnl"),
-		CgroupLock: sim.NewMutex("cgroup"),
-		IrqLock:    sim.NewMutex("irq-routing"),
+		RTNL:       sim.NewMutex(opts.Scope + "rtnl"),
+		CgroupLock: sim.NewMutex(opts.Scope + "cgroup"),
+		IrqLock:    sim.NewMutex(opts.Scope + "irq-routing"),
 	}
 	// The tracer attaches before any simulated work (including boot-time
 	// VF binding) so the stream covers the full execution.
@@ -375,6 +411,7 @@ func NewHost(spec HostSpec, opts Options) (*Host, error) {
 		mode = vfio.LockParentChild
 	}
 	h.VFIO = vfio.New(k, h.Topo, h.Mem, h.MMU, mode, vfio.DefaultCosts())
+	h.VFIO.Scope = opts.Scope
 	h.VFIO.Faults = h.Faults
 	h.VFIO.Retry = pol
 	h.KVM = kvm.New(k, h.Mem)
@@ -539,6 +576,31 @@ func (h *Host) StartupExperiment(n int) *Result {
 	return res
 }
 
+// StartOne runs a single pod-sandbox start on the host from within an
+// already-scheduled Proc, maintaining the wave bookkeeping the cluster
+// gauges read (in-flight, started, failed, the startup histogram). It is
+// the per-container unit beneath startupWave, exported so a fleet can
+// place individual starts onto hosts sharing one kernel. Fault-classified
+// failures (fault.IsFault) are counted and returned; the caller decides
+// whether they abort the run.
+func (h *Host) StartOne(p *sim.Proc, id int) (*cri.Sandbox, error) {
+	h.wave.started++
+	h.wave.inflight++
+	began := p.Now()
+	sb, err := h.Eng.RunPodSandbox(p, id)
+	h.wave.inflight--
+	if err != nil {
+		if fault.IsFault(err) {
+			h.wave.failed++
+		}
+		return nil, err
+	}
+	if h.startupHist != nil {
+		h.startupHist.Observe(time.Duration(p.Now() - began).Seconds())
+	}
+	return sb, nil
+}
+
 // startupWave starts n containers with globally unique ids base..base+n-1
 // (churn runs several waves on one host; ids must not collide across waves
 // for telemetry and trace binding).
@@ -546,21 +608,16 @@ func (h *Host) startupWave(n, base int) *Result {
 	res := &Result{Name: h.Opts.Name, N: n, Recorder: h.Rec, Started: n}
 	sandboxes := make([]*cri.Sandbox, n)
 	var errs []error
-	arrivals := h.Opts.Arrival.times(h.K.Rand(), n, h.Opts.StartJitter)
+	arrivals := h.Opts.Arrival.Times(h.rng, n, h.Opts.StartJitter)
 	for i := 0; i < n; i++ {
 		i := i
 		id := base + i
 		at := h.K.Now() + arrivals[i]
 		h.K.GoAt(at, fmt.Sprintf("ctr-%d", id), func(p *sim.Proc) {
-			h.wave.started++
-			h.wave.inflight++
-			began := p.Now()
-			sb, err := h.Eng.RunPodSandbox(p, id)
-			h.wave.inflight--
+			sb, err := h.StartOne(p, id)
 			if err != nil {
 				if fault.IsFault(err) {
 					res.Failed++
-					h.wave.failed++
 				} else {
 					// Aggregate every genuine error: a concurrent wave can
 					// surface several and dropping all but the first hides
@@ -568,9 +625,6 @@ func (h *Host) startupWave(n, base int) *Result {
 					errs = append(errs, err)
 				}
 				return
-			}
-			if h.startupHist != nil {
-				h.startupHist.Observe(time.Duration(p.Now() - began).Seconds())
 			}
 			sandboxes[i] = sb
 		})

@@ -63,7 +63,7 @@ func (h *Host) attachMetrics() {
 	// exactly, not just at sample instants.
 	mem := h.Mem
 	bw := mem.Bandwidth()
-	membw := m.WatchResource(hostmem.MemBWName)
+	membw := m.WatchResource(h.Opts.Scope + hostmem.MemBWName)
 	m.GaugeFunc(MetricMembwInUse, "zeroing-bandwidth streams currently held", nil,
 		func() float64 { return float64(bw.InUse()) })
 	m.GaugeFunc(MetricMembwUtil, "zeroing-bandwidth utilization in percent of stream capacity", nil,
@@ -82,7 +82,7 @@ func (h *Host) attachMetrics() {
 
 	// vfio: devset serialization (the paper's §3.2 bottleneck) and device
 	// lifecycle. Queue depth is event-driven and exact at every transition.
-	q := m.WatchLockQueue(vfio.DevsetLockPrefix)
+	q := m.WatchLockQueue(h.Opts.Scope + vfio.DevsetLockPrefix)
 	m.GaugeFunc(MetricDevsetQueueDepth, "containers queued on a vfio devset lock", nil,
 		func() float64 { return float64(q.Depth()) })
 	m.GaugeFunc(MetricDevsetQueuePeak, "maximum observed vfio devset lock queue depth", nil,

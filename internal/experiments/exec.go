@@ -38,6 +38,11 @@ type Exec struct {
 	// registry on the result but render identically to unmetered runs; the
 	// saturation experiment pins metrics on regardless.
 	metrics bool
+	// fleetHosts overrides the fleet experiment's host count (<= 0 selects
+	// the paper-scale default); fleetPolicy restricts it to one placement
+	// policy ("" sweeps all of them).
+	fleetHosts  int
+	fleetPolicy string
 }
 
 // NewExec returns an executor with the given worker count (<= 0 selects
@@ -95,6 +100,14 @@ func (x *Exec) SetTrace(v bool) { x.trace = v }
 // that does not pin its own setting. Metrics participate in cache keys, so
 // metered and unmetered runs of the same scenario never share results.
 func (x *Exec) SetMetrics(v bool) { x.metrics = v }
+
+// SetFleet sizes the fleet experiment: hosts overrides the host count
+// (<= 0 keeps the paper-scale default) and policy restricts the sweep to
+// one placement policy ("" sweeps all of them).
+func (x *Exec) SetFleet(hosts int, policy string) {
+	x.fleetHosts = hosts
+	x.fleetPolicy = policy
+}
 
 // CacheStats aliases the pool's traffic counters so callers above the
 // experiments layer need not import the harness directly.

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/fault"
+	"fastiov/internal/fleet"
+	"fastiov/internal/harness"
+	"fastiov/internal/stats"
+)
+
+// Paper-scale fleet defaults: 100 heterogeneous hosts at 20 concurrent
+// starts per host — the regime where placement policy decides whether
+// vanilla's devset-queue collapse lands on a few hosts or nowhere.
+const (
+	DefaultFleetHosts   = 100
+	DefaultFleetPerHost = 20
+)
+
+// ----------------------------------------------------------------------
+// Fleet scenarios: one baseline × policy at one fleet size, through the
+// harness so seeds fan out, results cache, and -verify-determinism
+// double-runs every placement decision.
+
+// fleetSpec identifies one independently schedulable fleet run.
+type fleetSpec struct {
+	Baseline string
+	Policy   string
+	Hosts    int
+	PerHost  int
+	// Faults pins this spec's fault plan; nil inherits the executor-wide
+	// plan (see startupSpec.Faults).
+	Faults *fault.Plan
+	// Trace and Metrics pin observability; nil inherits the executor-wide
+	// settings.
+	Trace   *bool
+	Metrics *bool
+}
+
+func (s fleetSpec) traced() bool { return s.Trace != nil && *s.Trace }
+
+func (s fleetSpec) metered() bool { return s.Metrics != nil && *s.Metrics }
+
+// params canonically encodes the spec for the cache key.
+func (s fleetSpec) params() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b=%s policy=%s hosts=%d c=%d", s.Baseline, s.Policy, s.Hosts, s.PerHost)
+	if !s.Faults.Empty() {
+		fmt.Fprintf(&b, " faults=%s", s.Faults)
+	}
+	if s.traced() {
+		b.WriteString(" trace")
+	}
+	if s.metered() {
+		b.WriteString(" metrics")
+	}
+	return b.String()
+}
+
+// run executes the spec at one seed: a heterogeneous fleet sharing one
+// kernel, audited per host and fleet-wide.
+func (s fleetSpec) run(seed uint64) (*fleet.Result, error) {
+	res, err := fleet.Run(fleet.Config{
+		Baseline:  s.Baseline,
+		Policy:    s.Policy,
+		HostSpecs: fleet.HeterogeneousSpecs(s.Hosts),
+		Requests:  s.Hosts * s.PerHost,
+		Seed:      seed,
+		Faults:    s.Faults,
+		Trace:     s.traced(),
+		Metrics:   s.metered(),
+		// Standing invariant, as for single-host harness runs: audit every
+		// fleet and fail loudly on any leak, per host or fleet-wide.
+		Audit: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", s.Baseline, s.Policy, err)
+	}
+	if !res.CleanPerHost() {
+		for i, rep := range res.PerHost {
+			if !rep.Clean() {
+				return nil, fmt.Errorf("%s/%s: host %d dirty leak audit:\n%s", s.Baseline, s.Policy, i, rep)
+			}
+		}
+	}
+	if !res.Leaks.Clean() {
+		return nil, fmt.Errorf("%s/%s: fleet-wide dirty leak audit:\n%s", s.Baseline, s.Policy, res.Leaks)
+	}
+	return res, nil
+}
+
+// fingerprintFleet canonically serializes a fleet run for determinism
+// verification: placements, queue peaks, busy integrals, every per-start
+// total, audit outcome, and the observers' digests when attached.
+func fingerprintFleet(v any) ([]byte, error) {
+	res, ok := v.(*fleet.Result)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fingerprinting %T, want *fleet.Result", v)
+	}
+	return res.Fingerprint(), nil
+}
+
+// MultiFleet is one fleet scenario's outcome across the executor's seeds.
+type MultiFleet struct {
+	perSeed []*fleet.Result
+}
+
+// Primary returns the first seed's full result.
+func (m *MultiFleet) Primary() *fleet.Result { return m.perSeed[0] }
+
+// Metric aggregates f over every seed's result.
+func (m *MultiFleet) Metric(f func(*fleet.Result) time.Duration) stats.Estimate {
+	return stats.EstimateMetric(m.perSeed, f)
+}
+
+// fleets fans the specs across the pool at every seed.
+func (x *Exec) fleets(specs []fleetSpec) ([]*MultiFleet, error) {
+	jobs := make([]harness.Job, 0, len(specs)*len(x.seeds))
+	for _, sp := range specs {
+		sp := sp
+		if sp.Faults == nil {
+			sp.Faults = x.faults
+		}
+		if sp.Trace == nil {
+			tv := x.trace
+			sp.Trace = &tv
+		}
+		if sp.Metrics == nil {
+			mv := x.metrics
+			sp.Metrics = &mv
+		}
+		for _, seed := range x.seeds {
+			seed := seed
+			jobs = append(jobs, harness.Job{
+				Key:         harness.Key{Scope: "fleet", Params: sp.params(), Seed: seed},
+				Fn:          func() (any, error) { return sp.run(seed) },
+				Fingerprint: fingerprintFleet,
+			})
+		}
+	}
+	vals, err := x.pool.Do(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MultiFleet, len(specs))
+	k := 0
+	for i := range specs {
+		m := &MultiFleet{}
+		for range x.seeds {
+			m.perSeed = append(m.perSeed, vals[k].(*fleet.Result))
+			k++
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Fleet sweeps placement policy × baseline across a heterogeneous fleet
+// sharing one simulation kernel, plus a fleet-size ladder for the
+// signal-driven policies. See the executor method.
+func Fleet(n int) (*Report, error) { return defaultExec().Fleet(n) }
+
+// Fleet on an executor. The cluster-level claim mirrors the paper's
+// host-level one: under vanilla, placement policy decides how much of the
+// devset-queue collapse each host absorbs — VF-aware placement (free VFs,
+// queue depth, membw pressure) recovers most of the tail that random
+// placement concentrates — while FastIOV flattens the queue everywhere and
+// makes policy choice nearly irrelevant.
+func (x *Exec) Fleet(n int) (*Report, error) {
+	hosts := x.fleetHosts
+	if hosts <= 0 {
+		hosts = DefaultFleetHosts
+		if n > 0 {
+			// A concurrency override marks a below-paper-scale run (the
+			// defConc convention): shrink the fleet to match unless -hosts
+			// pins it explicitly.
+			hosts = DefaultFleetHosts / 10
+		}
+	}
+	perHost := pick(n, DefaultFleetPerHost)
+	policies := fleet.Policies()
+	if x.fleetPolicy != "" {
+		if _, err := fleet.NewScheduler(x.fleetPolicy, nil); err != nil {
+			return nil, err
+		}
+		policies = []string{x.fleetPolicy}
+	}
+	baselines := []string{cluster.BaselineVanilla, cluster.BaselineFastIOV}
+
+	// Main sweep: every policy × baseline at full fleet size, then a host
+	// ladder (quarter, half) and a light-load point (half per-host
+	// concurrency) for the extreme policies — the blind one and the
+	// signal-driven one.
+	type row struct {
+		spec fleetSpec
+	}
+	var rows []row
+	for _, p := range policies {
+		for _, b := range baselines {
+			rows = append(rows, row{fleetSpec{Baseline: b, Policy: p, Hosts: hosts, PerHost: perHost}})
+		}
+	}
+	ladder := []string{fleet.PolicyRandom, fleet.PolicyVFAware}
+	if x.fleetPolicy != "" {
+		ladder = []string{x.fleetPolicy}
+	}
+	for _, h := range []int{hosts / 4, hosts / 2} {
+		if h < 1 || h == hosts {
+			continue
+		}
+		for _, p := range ladder {
+			for _, b := range baselines {
+				rows = append(rows, row{fleetSpec{Baseline: b, Policy: p, Hosts: h, PerHost: perHost}})
+			}
+		}
+	}
+	if half := perHost / 2; half >= 1 && half != perHost {
+		for _, p := range ladder {
+			for _, b := range baselines {
+				rows = append(rows, row{fleetSpec{Baseline: b, Policy: p, Hosts: hosts, PerHost: half}})
+			}
+		}
+	}
+
+	specs := make([]fleetSpec, len(rows))
+	for i, r := range rows {
+		specs[i] = r.spec
+	}
+	rs, err := x.fleets(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "fleet", Title: fmt.Sprintf(
+		"Fleet placement: policy × baseline across %d heterogeneous hosts (%d starts/host)", hosts, perHost)}
+	t := stats.NewTable("baseline", "policy", "hosts", "c/host", "p50", "p99", "max", "q-peak", "spread", "rej")
+	// p99 by (baseline, policy) at full scale, for the notes.
+	p99 := map[string]map[string]time.Duration{}
+	qpeak := map[string]map[string]int{}
+	for i, r := range rows {
+		m := rs[i]
+		pri := m.Primary()
+		t.AddRow(r.spec.Baseline, r.spec.Policy, r.spec.Hosts, r.spec.PerHost,
+			m.Metric(func(fr *fleet.Result) time.Duration { return fr.Totals.P50() }),
+			m.Metric(func(fr *fleet.Result) time.Duration { return fr.Totals.P99() }),
+			m.Metric(func(fr *fleet.Result) time.Duration { return fr.Totals.Max() }),
+			pri.MaxQueuePeak(), pri.PlacementSpread(), pri.Rejected)
+		if r.spec.Hosts == hosts && r.spec.PerHost == perHost {
+			if p99[r.spec.Baseline] == nil {
+				p99[r.spec.Baseline] = map[string]time.Duration{}
+				qpeak[r.spec.Baseline] = map[string]int{}
+			}
+			p99[r.spec.Baseline][r.spec.Policy] = m.Metric(
+				func(fr *fleet.Result) time.Duration { return fr.Totals.P99() }).Mean
+			qpeak[r.spec.Baseline][r.spec.Policy] = pri.MaxQueuePeak()
+		}
+	}
+	rep.Table = t
+
+	// The headline claims need both extreme policies at full scale.
+	van, fast := p99[cluster.BaselineVanilla], p99[cluster.BaselineFastIOV]
+	if van[fleet.PolicyRandom] > 0 && van[fleet.PolicyVFAware] > 0 {
+		red := 100 * stats.ReductionRatio(van[fleet.PolicyRandom], van[fleet.PolicyVFAware])
+		if red >= 5 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"vanilla: vf-aware placement recovers most of the devset-queue collapse random placement concentrates — p99 %v → %v (%.0f%% reduction), deepest queue %d → %d waiters",
+				van[fleet.PolicyRandom].Round(time.Millisecond), van[fleet.PolicyVFAware].Round(time.Millisecond), red,
+				qpeak[cluster.BaselineVanilla][fleet.PolicyRandom], qpeak[cluster.BaselineVanilla][fleet.PolicyVFAware]))
+		} else {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"vanilla: random and vf-aware placement are on par at this scale — p99 %v vs %v; the devset-queue collapse (and its recovery) needs more concurrent starts per host",
+				van[fleet.PolicyRandom].Round(time.Millisecond), van[fleet.PolicyVFAware].Round(time.Millisecond)))
+		}
+	}
+	if len(fast) == len(fleet.Policies()) && len(van) == len(fleet.Policies()) {
+		// Compare across the load-spreading policies; rr deliberately
+		// bin-packs onto one host at a time and is the collapse
+		// illustration, not a placement candidate.
+		spreading := func(m map[string]time.Duration) map[string]time.Duration {
+			out := map[string]time.Duration{}
+			for p, v := range m {
+				if p != fleet.PolicyRoundRobin {
+					out[p] = v
+				}
+			}
+			return out
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"fastiov makes policy choice nearly irrelevant: p99 spread across the spreading policies %v vs vanilla's %v; even deliberate bin-packing (rr) costs fastiov %v where vanilla collapses to %v",
+			p99Spread(spreading(fast)).Round(time.Millisecond), p99Spread(spreading(van)).Round(time.Millisecond),
+			fast[fleet.PolicyRoundRobin].Round(time.Millisecond), van[fleet.PolicyRoundRobin].Round(time.Millisecond)))
+	}
+	seedNote(rep, x, "fleet table")
+	return rep, nil
+}
+
+// p99Spread is max minus min across a policy→p99 map.
+func p99Spread(m map[string]time.Duration) time.Duration {
+	var lo, hi time.Duration
+	first := true
+	for _, v := range m {
+		if first {
+			lo, hi = v, v
+			first = false
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

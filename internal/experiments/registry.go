@@ -110,6 +110,9 @@ func Registry() []Entry {
 		{"saturation", "Host saturation time series: devset queue and membw", func(x *Exec, n int) (*Report, error) {
 			return x.Saturation(pick(n, DefaultConcurrency))
 		}},
+		{"fleet", "Fleet placement: policy × baseline on a shared kernel", func(x *Exec, n int) (*Report, error) {
+			return x.Fleet(n)
+		}},
 	}
 }
 

@@ -1,0 +1,551 @@
+// Package fleet boots many simulated hosts into ONE shared simulation
+// kernel and schedules container starts across them — the cluster-level
+// view of the paper's startup problem. Each host gets a unique observability
+// scope (cluster.Options.Scope) and a derived PRNG stream (sim.SplitSeed),
+// so the fleet run is bit-for-bit deterministic per seed while hosts never
+// share or collide random state. Placement policies (scheduler.go) read
+// per-host signals — free VFs, in-flight starts, devset lock queue depth,
+// membw busy integral — from always-on, read-only metrics watchers, which
+// cost no simulated time and no randomness: observing a host to schedule on
+// it never perturbs it.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fastiov/internal/audit"
+	"fastiov/internal/cluster"
+	"fastiov/internal/cri"
+	"fastiov/internal/fault"
+	"fastiov/internal/hostmem"
+	"fastiov/internal/metrics"
+	"fastiov/internal/sim"
+	"fastiov/internal/stats"
+	"fastiov/internal/trace"
+	"fastiov/internal/vfio"
+)
+
+// DefaultJitter spreads fleet arrivals over this window when the config
+// does not choose one. Unlike the single-host burst (50ms), a fleet burst
+// is spread wide enough that queue-depth signals have formed by the time
+// later requests are placed — the regime where policy choice matters.
+const DefaultJitter = 2 * time.Second
+
+// schedStream is the PRNG stream index reserved for the scheduler (the
+// random policy). Host i draws stream i; hosts are far below 2^32, so the
+// streams never collide.
+const schedStream = uint64(1) << 32
+
+// Fleet-level instrument ids (registered when Config.Metrics is set).
+const (
+	MetricFleetInflight   = "fleet_startups_inflight"
+	MetricFleetStarted    = "fleet_startups_started_total"
+	MetricFleetFailed     = "fleet_startups_failed_total"
+	MetricFleetRejected   = "fleet_startups_rejected_total"
+	MetricFleetFreeVFs    = "fleet_free_vfs"
+	MetricFleetQueueDepth = "fleet_devset_queue_depth"
+)
+
+// Scope returns host i's observability namespace: the prefix on every
+// sim-primitive name the host creates inside the shared kernel.
+func Scope(i int) string { return fmt.Sprintf("h%03d-", i) }
+
+// HeterogeneousSpecs builds n host specs cycling through three machine
+// profiles — the paper's full testbed, a half-size box, and a quarter-size
+// edge box — varying exactly the capacities the VF-aware policy reasons
+// about: VF population, cores, and zeroing-bandwidth streams.
+func HeterogeneousSpecs(n int) []cluster.HostSpec {
+	out := make([]cluster.HostSpec, n)
+	for i := range out {
+		spec := cluster.DefaultHostSpec()
+		switch i % 3 {
+		case 1:
+			spec.NumVFs = 128
+			spec.Cores = 64
+			spec.Memory.ZeroStreams = 3
+		case 2:
+			spec.NumVFs = 64
+			spec.Cores = 32
+			spec.Memory.ZeroStreams = 2
+		}
+		out[i] = spec
+	}
+	return out
+}
+
+// Config selects one fleet run.
+type Config struct {
+	// Baseline names the cluster baseline every host boots with (§6.1).
+	Baseline string
+	// Policy names the placement policy (see Policies).
+	Policy string
+	// HostSpecs sizes each host; the fleet boots len(HostSpecs) machines.
+	HostSpecs []cluster.HostSpec
+	// Requests is the total number of container starts to place.
+	Requests int
+	// Seed drives the whole run: arrival jitter, the random policy's draws,
+	// and each host's derived fault-injection stream.
+	Seed uint64
+	// Arrival selects the fleet-wide arrival process (default burst over
+	// StartJitter); StartJitter defaults to DefaultJitter.
+	Arrival     cluster.Arrival
+	StartJitter time.Duration
+	// Faults attaches this plan to every host (each with its own derived
+	// injector stream, so fault points fire independently per host).
+	Faults *fault.Plan
+	// Trace attaches ONE event-sourced tracer covering the whole shared
+	// kernel; per-host critical paths are verified against each host's
+	// telemetry. Never perturbs the run.
+	Trace bool
+	// Metrics attaches a fleet-level sampled registry (fleet gauges +
+	// per-host watcher-backed signals). Never perturbs the run.
+	Metrics        bool
+	MetricsCadence time.Duration
+	// Audit stops every surviving sandbox after measurement and checks
+	// conservation per host and fleet-wide (audit.Sum). Runs after all
+	// measurement, consumes no randomness.
+	Audit bool
+}
+
+// withDefaults normalizes optional fields.
+func (c Config) withDefaults() Config {
+	if c.StartJitter <= 0 {
+		c.StartJitter = DefaultJitter
+	}
+	return c
+}
+
+// Fleet is N booted hosts sharing one kernel, plus the scheduler and the
+// per-host placement signals.
+type Fleet struct {
+	Cfg   Config
+	K     *sim.Kernel
+	Hosts []*cluster.Host
+	// Tracer is the shared-kernel event stream (nil unless Cfg.Trace).
+	Tracer *trace.Trace
+	// Metrics is the fleet-level sampled registry (nil unless Cfg.Metrics).
+	Metrics *metrics.Registry
+	// Sched is the placement policy instance.
+	Sched Scheduler
+
+	// signals is the always-on, never-started watcher registry backing the
+	// scheduler's per-host queue-depth and membw signals. It is pure
+	// event-driven bookkeeping: chaining it costs nothing and it is chained
+	// unconditionally, so scheduled runs render identically whether or not
+	// the sampled registry is attached.
+	signals *metrics.Registry
+	membw   []*metrics.ResourceWatch
+	queues  []*metrics.QueueWatch
+
+	// Placement bookkeeping, maintained by Run's placement procs.
+	inflight   []int
+	placements []int
+	totalInflight, started, failed, rejected int
+	startupHist *metrics.Histogram
+}
+
+// New boots the fleet: one shared kernel, the optional tracer first (so its
+// stream covers host boot), the signal watchers, then each host under its
+// own scope and derived PRNG stream, and finally the optional sampled
+// metrics registry and the scheduler.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.HostSpecs) == 0 {
+		return nil, errors.New("fleet: no host specs")
+	}
+	if cfg.Requests <= 0 {
+		return nil, errors.New("fleet: no requests")
+	}
+	base, err := cluster.OptionsFor(cfg.Baseline)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed)}
+	if cfg.Trace {
+		f.Tracer = trace.Attach(f.K)
+	}
+	f.signals = metrics.New(0)
+	f.K.ChainProbe(f.signals.Observer())
+
+	n := len(cfg.HostSpecs)
+	f.Hosts = make([]*cluster.Host, n)
+	f.membw = make([]*metrics.ResourceWatch, n)
+	f.queues = make([]*metrics.QueueWatch, n)
+	f.inflight = make([]int, n)
+	f.placements = make([]int, n)
+	for i, spec := range cfg.HostSpecs {
+		scope := Scope(i)
+		f.membw[i] = f.signals.WatchResource(scope + hostmem.MemBWName)
+		f.queues[i] = f.signals.WatchLockQueue(scope + vfio.DevsetLockPrefix)
+
+		opts := base
+		opts.Scope = scope
+		opts.Seed = sim.SplitSeed(cfg.Seed, uint64(i))
+		opts.Faults = cfg.Faults
+		// The fleet owns observability and lifecycle: hosts must not install
+		// their own tracer (trace.Attach overwrites the kernel probe) or
+		// sampler, and the fleet tears sandboxes down itself when auditing.
+		opts.Trace = false
+		opts.Metrics = false
+		opts.Audit = false
+		h, err := cluster.NewHostOn(f.K, sim.NewRand(opts.Seed), spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: host %d: %w", i, err)
+		}
+		f.Hosts[i] = h
+	}
+
+	if cfg.Metrics {
+		f.Metrics = metrics.New(cfg.MetricsCadence)
+		f.attachMetrics()
+		f.K.ChainProbe(f.Metrics.Observer())
+		f.Metrics.Start(f.K)
+	}
+
+	f.Sched, err = NewScheduler(cfg.Policy, sim.NewRand(sim.SplitSeed(cfg.Seed, schedStream)))
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// attachMetrics registers the fleet-level instruments.
+func (f *Fleet) attachMetrics() {
+	m := f.Metrics
+	m.GaugeFunc(MetricFleetInflight, "container startups in progress fleet-wide", nil,
+		func() float64 { return float64(f.totalInflight) })
+	m.CounterFunc(MetricFleetStarted, "container startups placed fleet-wide", nil,
+		func() float64 { return float64(f.started) })
+	m.CounterFunc(MetricFleetFailed, "container startups lost to injected faults fleet-wide", nil,
+		func() float64 { return float64(f.failed) })
+	m.CounterFunc(MetricFleetRejected, "requests rejected by the scheduler (no host in capacity)", nil,
+		func() float64 { return float64(f.rejected) })
+	m.GaugeFunc(MetricFleetFreeVFs, "free VFs summed across hosts", nil,
+		func() float64 {
+			total := 0
+			for _, h := range f.Hosts {
+				total += h.NIC.FreeVFs()
+			}
+			return float64(total)
+		})
+	m.GaugeFunc(MetricFleetQueueDepth, "vfio devset lock waiters summed across hosts", nil,
+		func() float64 {
+			total := 0
+			for _, q := range f.queues {
+				total += q.Depth()
+			}
+			return float64(total)
+		})
+	f.startupHist = m.NewHistogram("fleet_startup_seconds", "end-to-end container startup latency fleet-wide", nil,
+		[]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32})
+}
+
+// States snapshots every host's scheduler view at the current instant.
+// Pure observation: live substrate reads plus watcher state, no simulated
+// time, no PRNG draws.
+func (f *Fleet) States() []HostState {
+	out := make([]HostState, len(f.Hosts))
+	for i, h := range f.Hosts {
+		out[i] = HostState{
+			Index:      i,
+			CapVFs:     h.Spec.NumVFs,
+			FreeVFs:    h.NIC.FreeVFs(),
+			Inflight:   f.inflight[i],
+			QueueDepth: f.queues[i].Depth(),
+			MembwBusy:  f.membw[i].Busy(),
+		}
+	}
+	return out
+}
+
+// Result carries one fleet run's outcome.
+type Result struct {
+	Baseline string
+	Policy   string
+	Hosts    int
+	Requests int
+
+	// Totals samples end-to-end startup time across every successful start,
+	// fleet-wide.
+	Totals *stats.Sample
+	// Placements[i] counts starts placed on host i; QueuePeaks[i] and
+	// MembwBusy[i] are host i's devset-queue peak and membw busy integral
+	// over the measured phase.
+	Placements []int
+	QueuePeaks []int
+	MembwBusy  []time.Duration
+
+	Started  int
+	Failed   int
+	Rejected int
+
+	// PerHost holds each host's conservation report and Leaks the
+	// fleet-wide aggregate (sum of baselines vs sum of finals); both nil
+	// unless Config.Audit.
+	PerHost []*audit.Report
+	Leaks   *audit.Report
+
+	// Trace and Metrics carry the shared tracer and the sealed fleet
+	// registry when attached.
+	Trace   *trace.Trace
+	Metrics *metrics.Registry
+	// FaultStats merges every host's injector counters by site (nil for
+	// fault-free fleets).
+	FaultStats []fault.SiteStat
+	Err        error
+}
+
+// PlacementSpread is max minus min per-host placements: 0 means perfectly
+// even, large means the policy piled requests onto few hosts.
+func (r *Result) PlacementSpread() int {
+	if len(r.Placements) == 0 {
+		return 0
+	}
+	lo, hi := r.Placements[0], r.Placements[0]
+	for _, p := range r.Placements[1:] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return hi - lo
+}
+
+// MaxQueuePeak is the deepest devset queue any host saw.
+func (r *Result) MaxQueuePeak() int {
+	max := 0
+	for _, q := range r.QueuePeaks {
+		if q > max {
+			max = q
+		}
+	}
+	return max
+}
+
+// CleanPerHost reports whether every per-host audit came back clean (false
+// when unaudited).
+func (r *Result) CleanPerHost() bool {
+	if r.PerHost == nil {
+		return false
+	}
+	for _, rep := range r.PerHost {
+		if !rep.Clean() {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical serializes everything the simulation decides — placements, queue
+// peaks, busy integrals, per-start totals, failure accounting — but none of
+// the attached observers' digests. Runs with trace, metrics, or audit
+// attached must produce byte-identical Canonical output to unattached runs:
+// this is the fleet's observer-transparency contract, and the tests diff it
+// directly.
+func (r *Result) Canonical() []byte {
+	b := fmt.Appendf(nil, "fleet b=%s policy=%s hosts=%d requests=%d\n",
+		r.Baseline, r.Policy, r.Hosts, r.Requests)
+	b = fmt.Appendf(b, "started %d failed %d rejected %d\n", r.Started, r.Failed, r.Rejected)
+	for i := range r.Placements {
+		b = fmt.Appendf(b, "host %d placed=%d qpeak=%d membw=%d\n",
+			i, r.Placements[i], r.QueuePeaks[i], r.MembwBusy[i])
+	}
+	for _, d := range r.Totals.Values() {
+		b = fmt.Appendf(b, "total %d\n", d)
+	}
+	if r.FaultStats != nil {
+		for _, st := range r.FaultStats {
+			b = fmt.Appendf(b, "fault %s occ=%d inj=%d\n", st.Site, st.Occurrences, st.Injected)
+		}
+	}
+	return b
+}
+
+// Fingerprint extends Canonical with the audit outcome and the observers'
+// digests — everything a determinism double-run must reproduce exactly.
+// Conditional lines keep an unattached fingerprint byte-identical to its
+// pre-observer encoding (the same convention as the startup harness).
+func (r *Result) Fingerprint() []byte {
+	b := r.Canonical()
+	if r.Leaks != nil {
+		b = fmt.Appendf(b, "leaks %d\n", r.Leaks.Count())
+		for _, l := range r.Leaks.Leaks {
+			b = fmt.Appendf(b, "leak %s %d %d\n", l.Resource, l.Before, l.After)
+		}
+	}
+	if r.Trace != nil {
+		b = fmt.Appendf(b, "trace events=%d fp=%016x\n", r.Trace.Len(), r.Trace.Fingerprint())
+	}
+	if r.Metrics != nil {
+		b = fmt.Appendf(b, "metrics samples=%d fp=%016x\n", r.Metrics.Samples(), r.Metrics.Fingerprint())
+	}
+	return b
+}
+
+// Run places Cfg.Requests container starts across the fleet and runs the
+// shared kernel to quiescence. Each request is one proc: at its arrival
+// instant it snapshots every host's state, asks the policy for a placement,
+// and runs the start on the chosen host (or counts a rejection). After
+// measurement the optional audit stops every surviving sandbox and checks
+// conservation per host and fleet-wide.
+func (f *Fleet) Run() *Result {
+	cfg := f.Cfg
+	res := &Result{
+		Baseline: cfg.Baseline,
+		Policy:   cfg.Policy,
+		Hosts:    len(f.Hosts),
+		Requests: cfg.Requests,
+	}
+	totals := stats.NewSample()
+	live := make([][]*cri.Sandbox, len(f.Hosts))
+	var errs []error
+
+	arrivals := cfg.Arrival.Times(f.K.Rand(), cfg.Requests, cfg.StartJitter)
+	for i := 0; i < cfg.Requests; i++ {
+		id := i
+		at := f.K.Now() + arrivals[i]
+		f.K.GoAt(at, fmt.Sprintf("ctr-%d", id), func(p *sim.Proc) {
+			pick := f.Sched.Place(f.States())
+			if pick < 0 || pick >= len(f.Hosts) {
+				f.rejected++
+				return
+			}
+			f.started++
+			f.placements[pick]++
+			f.inflight[pick]++
+			f.totalInflight++
+			began := p.Now()
+			sb, err := f.Hosts[pick].StartOne(p, id)
+			f.inflight[pick]--
+			f.totalInflight--
+			if err != nil {
+				if fault.IsFault(err) {
+					f.failed++
+				} else {
+					errs = append(errs, err)
+				}
+				return
+			}
+			took := time.Duration(p.Now() - began)
+			totals.Add(took)
+			if f.startupHist != nil {
+				f.startupHist.Observe(took.Seconds())
+			}
+			live[pick] = append(live[pick], sb)
+		})
+	}
+	f.K.Run()
+
+	if f.Metrics != nil {
+		f.Metrics.Seal(f.K.Now())
+		res.Metrics = f.Metrics
+	}
+	res.Started = f.started
+	res.Failed = f.failed
+	res.Rejected = f.rejected
+	res.Placements = append([]int(nil), f.placements...)
+	res.QueuePeaks = make([]int, len(f.Hosts))
+	res.MembwBusy = make([]time.Duration, len(f.Hosts))
+	for i := range f.Hosts {
+		res.QueuePeaks[i] = f.queues[i].Peak()
+		res.MembwBusy[i] = f.membw[i].Busy()
+	}
+	res.Trace = f.Tracer
+
+	// Per-host critical-path verification against the shared trace: one
+	// Analyze pass over the whole stream, then each host's recorder binds
+	// its own container ids (fleet ids are globally unique, so DefaultBinder
+	// never collides across hosts).
+	if f.Tracer != nil {
+		a, err := trace.Analyze(f.Tracer)
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			for i, h := range f.Hosts {
+				if _, err := a.CriticalPaths(h.Rec, trace.DefaultBinder); err != nil {
+					errs = append(errs, fmt.Errorf("fleet: host %d critical paths: %w", i, err))
+				}
+			}
+		}
+	}
+
+	if cfg.Audit {
+		// Detach the probe before teardown so the trace stream, the sealed
+		// registry, and the watcher peaks cover exactly the measured phase —
+		// audited runs stay byte-identical to unaudited ones.
+		f.K.SetProbe(nil)
+		for hi, sbs := range live {
+			h := f.Hosts[hi]
+			for _, sb := range sbs {
+				sb := sb
+				f.K.Go(fmt.Sprintf("stop-%d", sb.ID), func(p *sim.Proc) {
+					if err := h.Eng.StopPodSandbox(p, sb); err != nil {
+						errs = append(errs, err)
+					}
+				})
+			}
+		}
+		f.K.Run()
+		baselines := make([]audit.Snapshot, len(f.Hosts))
+		finals := make([]audit.Snapshot, len(f.Hosts))
+		res.PerHost = make([]*audit.Report, len(f.Hosts))
+		for i, h := range f.Hosts {
+			baselines[i] = h.Baseline
+			finals[i] = h.AuditSnapshot()
+			res.PerHost[i] = audit.NewReport(baselines[i], finals[i])
+		}
+		res.Leaks = audit.NewReport(audit.Sum(baselines...), audit.Sum(finals...))
+	}
+
+	res.FaultStats = mergeFaultStats(f.Hosts)
+	res.Err = errors.Join(errs...)
+	totals.Sort()
+	res.Totals = totals
+	return res
+}
+
+// mergeFaultStats sums every host's per-site injector counters (sites are
+// un-scoped names, identical across hosts). Nil when every host ran
+// fault-free, matching the single-host convention.
+func mergeFaultStats(hosts []*cluster.Host) []fault.SiteStat {
+	merged := make(map[fault.Site]fault.SiteStat)
+	any := false
+	for _, h := range hosts {
+		for _, st := range h.Faults.Snapshot() {
+			any = true
+			m := merged[st.Site]
+			m.Site = st.Site
+			m.Occurrences += st.Occurrences
+			m.Injected += st.Injected
+			merged[st.Site] = m
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]fault.SiteStat, 0, len(merged))
+	for _, st := range merged {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Run is the one-call fleet experiment: boot under cfg, place, measure.
+func Run(cfg Config) (*Result, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := f.Run()
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
+}

@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"fastiov/internal/sim"
+)
+
+// fixture builders for the placement scenarios the policies must rank.
+
+// evenHosts returns n identical hosts with ample capacity.
+func evenHosts(n int) []HostState {
+	out := make([]HostState, n)
+	for i := range out {
+		out[i] = HostState{Index: i, CapVFs: 64, FreeVFs: 64}
+	}
+	return out
+}
+
+func TestSchedulerFixtures(t *testing.T) {
+	type tc struct {
+		name   string
+		hosts  []HostState
+		want   map[string]int // policy -> expected pick (-1 = reject)
+		anyOf  map[string][]int
+	}
+	cases := []tc{
+		{
+			// Host 1 has zero free VFs: every policy must route around it.
+			name: "zero-free-vfs",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 64, FreeVFs: 0},
+				{Index: 1, CapVFs: 64, FreeVFs: 32},
+			},
+			want: map[string]int{
+				PolicyRandom:      1,
+				PolicyRoundRobin:  1,
+				PolicyLeastLoaded: 1,
+				PolicyVFAware:     1,
+			},
+		},
+		{
+			// Every host is out of capacity: every policy must reject.
+			name: "all-exhausted",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 8, FreeVFs: 0},
+				{Index: 1, CapVFs: 8, FreeVFs: 2, Inflight: 2},
+			},
+			want: map[string]int{
+				PolicyRandom:      -1,
+				PolicyRoundRobin:  -1,
+				PolicyLeastLoaded: -1,
+				PolicyVFAware:     -1,
+			},
+		},
+		{
+			// Host 0 carries a saturated membw busy integral: vf-aware must
+			// prefer the cold host; load-blind policies won't.
+			name: "saturated-membw",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 64, FreeVFs: 64, MembwBusy: 90 * time.Second},
+				{Index: 1, CapVFs: 64, FreeVFs: 64},
+			},
+			want: map[string]int{
+				PolicyVFAware:     1,
+				PolicyRoundRobin:  0,
+				PolicyLeastLoaded: 0,
+			},
+		},
+		{
+			// Host 0 has a deep devset queue (the §3.2 collapse signal):
+			// vf-aware must avoid it even though its raw VF headroom is
+			// larger.
+			name: "deep-devset-queue",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 256, FreeVFs: 200, QueueDepth: 30},
+				{Index: 1, CapVFs: 64, FreeVFs: 40},
+			},
+			want: map[string]int{
+				PolicyVFAware: 1,
+			},
+		},
+		{
+			// All-equal hosts: deterministic policies must tie-break toward
+			// the lowest index; random may pick any.
+			name:  "all-equal-tiebreak",
+			hosts: evenHosts(4),
+			want: map[string]int{
+				PolicyRoundRobin:  0,
+				PolicyLeastLoaded: 0,
+				PolicyVFAware:     0,
+			},
+			anyOf: map[string][]int{PolicyRandom: {0, 1, 2, 3}},
+		},
+		{
+			// No-net fleet (CapVFs 0 = uncapped): everything is eligible.
+			name: "uncapped-no-net",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 0, Inflight: 500},
+				{Index: 1, CapVFs: 0},
+			},
+			want: map[string]int{
+				PolicyRoundRobin:  0,
+				PolicyLeastLoaded: 1,
+			},
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for policy, want := range c.want {
+				s, err := NewScheduler(policy, sim.NewRand(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := s.Place(c.hosts); got != want {
+					t.Errorf("%s placed on %d, want %d", policy, got, want)
+				}
+			}
+			for policy, allowed := range c.anyOf {
+				s, err := NewScheduler(policy, sim.NewRand(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := s.Place(c.hosts)
+				ok := false
+				for _, a := range allowed {
+					if got == a {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Errorf("%s placed on %d, want one of %v", policy, got, allowed)
+				}
+			}
+		})
+	}
+}
+
+// TestRoundRobinBinPacks: the rr policy keeps filling its cursor host until
+// it runs out of headroom, then advances — bin-packing, not spraying.
+func TestRoundRobinBinPacks(t *testing.T) {
+	s, err := NewScheduler(PolicyRoundRobin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []HostState{
+		{Index: 0, CapVFs: 4, FreeVFs: 2},
+		{Index: 1, CapVFs: 4, FreeVFs: 4},
+	}
+	if got := s.Place(hosts); got != 0 {
+		t.Fatalf("first placement on %d, want 0", got)
+	}
+	hosts[0].Inflight = 2 // cursor host now full
+	if got := s.Place(hosts); got != 1 {
+		t.Fatalf("second placement on %d, want 1 after host 0 filled", got)
+	}
+	hosts[0].Inflight = 0 // host 0 drains, but the cursor stays on 1
+	if got := s.Place(hosts); got != 1 {
+		t.Fatalf("third placement on %d, want cursor host 1", got)
+	}
+}
+
+// TestRandomUsesInjectedStream: the random policy must draw from its own
+// stream (reproducible per seed) and spread across eligible hosts.
+func TestRandomUsesInjectedStream(t *testing.T) {
+	picks := func(seed uint64) []int {
+		s, err := NewScheduler(PolicyRandom, sim.NewRand(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := evenHosts(8)
+		out := make([]int, 64)
+		for i := range out {
+			out[i] = s.Place(hosts)
+		}
+		return out
+	}
+	a, b := picks(5), picks(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	distinct := map[int]bool{}
+	for _, p := range a {
+		distinct[p] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("random policy stuck on one host across 64 draws")
+	}
+}
+
+// FuzzSchedulerPlacement: under arbitrary host states, every policy must
+// return either an explicit reject (-1) or a valid index of an eligible
+// host — never panic, never go out of range, never over-place.
+func FuzzSchedulerPlacement(f *testing.F) {
+	f.Add(uint64(1), 4, 64, 64, 0, 0, int64(0))
+	f.Add(uint64(2), 1, 0, 0, 0, 0, int64(0))
+	f.Add(uint64(3), 9, 8, -3, 12, 40, int64(90*time.Second))
+	f.Add(uint64(4), 0, 0, 0, 0, 0, int64(-5))
+	f.Fuzz(func(t *testing.T, seed uint64, n, capVFs, freeVFs, inflight, qdepth int, busy int64) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 64
+		rng := sim.NewRand(seed)
+		hosts := make([]HostState, n)
+		for i := range hosts {
+			// Derive varied per-host states from the fuzz scalars so a
+			// single input covers mixed fleets, not just uniform ones.
+			hosts[i] = HostState{
+				Index:      i,
+				CapVFs:     capVFs + int(rng.Int63n(257)) - 1,
+				FreeVFs:    freeVFs + int(rng.Int63n(257)) - 128,
+				Inflight:   inflight + int(rng.Int63n(64)),
+				QueueDepth: qdepth + int(rng.Int63n(64)) - 32,
+				MembwBusy:  time.Duration(busy) + time.Duration(rng.Int63n(int64(time.Minute))),
+			}
+		}
+		for _, policy := range Policies() {
+			s, err := NewScheduler(policy, sim.NewRand(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 3; round++ { // stateful policies (rr cursor) get re-hit
+				got := s.Place(hosts)
+				if got == -1 {
+					for _, h := range hosts {
+						if h.Eligible() {
+							t.Fatalf("%s rejected with eligible host %d available", policy, h.Index)
+						}
+					}
+					continue
+				}
+				if got < 0 || got >= len(hosts) {
+					t.Fatalf("%s returned out-of-range index %d for %d hosts", policy, got, len(hosts))
+				}
+				if !hosts[got].Eligible() {
+					t.Fatalf("%s placed on ineligible host %d (%+v)", policy, got, hosts[got])
+				}
+			}
+		}
+	})
+}

@@ -165,7 +165,14 @@ type Allocator struct {
 // New builds an allocator; all pages start free and dirty (residual data
 // from "previous tenants"), matching the paper's worst-case assumption for
 // a warm multi-tenant host.
-func New(k *sim.Kernel, cfg Config) *Allocator {
+func New(k *sim.Kernel, cfg Config) *Allocator { return NewScoped(k, cfg, "") }
+
+// NewScoped builds an allocator whose sim-lock names carry a scope prefix
+// (e.g. "h003-zone", "h003-membw"). Multi-host simulations sharing one
+// kernel scope each host's primitives so trace and metrics observers — which
+// match primitives by name — can tell the hosts apart. An empty scope keeps
+// the historical names.
+func NewScoped(k *sim.Kernel, cfg Config, scope string) *Allocator {
 	if cfg.PageSize <= 0 || cfg.TotalBytes < cfg.PageSize {
 		panic("hostmem: invalid geometry")
 	}
@@ -185,8 +192,8 @@ func New(k *sim.Kernel, cfg Config) *Allocator {
 		pinned:    make([]int32, pages),
 		freeCnt:   pages,
 		dirtyCnt:  pages,
-		zoneLock:  sim.NewMutex(ZoneLockName),
-		membw:     sim.NewResource(MemBWName, cfg.ZeroStreams),
+		zoneLock:  sim.NewMutex(scope + ZoneLockName),
+		membw:     sim.NewResource(scope+MemBWName, cfg.ZeroStreams),
 	}
 }
 

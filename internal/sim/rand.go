@@ -17,6 +17,18 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// SplitSeed derives an independent child seed from (seed, stream) with a
+// splitmix64 finalizer. Multi-host simulations sharing one kernel use it to
+// give every host its own PRNG stream: two hosts built from the same run
+// seed but different stream indices draw uncorrelated sequences, and the
+// derivation is a pure function so runs stay reproducible.
+func SplitSeed(seed, stream uint64) uint64 {
+	z := seed + (stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	x := r.state

@@ -108,6 +108,13 @@ type Driver struct {
 	// Stats accumulates fault-handling counters (all zero without faults).
 	Stats FaultStats
 
+	// Scope prefixes every lock name the driver creates (devset and
+	// per-device locks). Multi-host simulations sharing one kernel set a
+	// per-host scope (e.g. "h003-") before the first Register so name-matching
+	// observers (trace profiles, metrics queue watchers) can tell hosts
+	// apart; the empty default keeps the historical names.
+	Scope string
+
 	busSets   map[int]*DevSet // bus number -> shared devset
 	devices   map[*pci.Device]*Device
 	nextFD    int
@@ -207,7 +214,7 @@ func (d *Driver) Register(pdev *pci.Device) (*Device, error) {
 	vd := &Device{
 		PDev:       pdev,
 		Set:        set,
-		mu:         sim.NewMutex(fmt.Sprintf("%s%s", DevLockPrefix, pdev.Addr)),
+		mu:         sim.NewMutex(fmt.Sprintf("%s%s%s", d.Scope, DevLockPrefix, pdev.Addr)),
 		dmaRegions: make(map[int64]*hostmem.Region),
 	}
 	set.devices = append(set.devices, vd)
@@ -230,8 +237,8 @@ func (d *Driver) newSet() *DevSet {
 	d.nextSet++
 	return &DevSet{
 		ID:     d.nextSet,
-		global: sim.NewMutex(fmt.Sprintf("%s%d", DevsetLockPrefix, d.nextSet)),
-		rw:     sim.NewRWMutex(fmt.Sprintf("%s%d", DevsetLockPrefix, d.nextSet)),
+		global: sim.NewMutex(fmt.Sprintf("%s%s%d", d.Scope, DevsetLockPrefix, d.nextSet)),
+		rw:     sim.NewRWMutex(fmt.Sprintf("%s%s%d", d.Scope, DevsetLockPrefix, d.nextSet)),
 	}
 }
 
