@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"fastiov/internal/cluster"
+	"fastiov/internal/fleet"
 	"fastiov/internal/locks"
 	"fastiov/internal/stats"
 	"fastiov/internal/zeromem"
@@ -343,6 +344,46 @@ func BenchmarkZeroLazyTouchTenth(b *testing.B) {
 }
 
 // --- Simulator throughput -------------------------------------------------
+
+// BenchmarkStartupC200 is the kernel-throughput headline: wall-clock cost
+// of one complete c=200 startup simulation, per baseline. The CI bench
+// smoke job tracks it; BENCH_kernel.json records the seed numbers
+// (~40 ms/op before the flat event queue / coroutine / snapshot overhaul,
+// ~7 ms/op after, on the reference container).
+func BenchmarkStartupC200(b *testing.B) {
+	for _, name := range cluster.Baselines() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runBaselineB(b, name, benchN)
+			}
+		})
+	}
+}
+
+// BenchmarkFleet100x20 is the scale headline: 100 heterogeneous hosts on
+// one shared kernel, 2000 container starts placed by the least-loaded
+// policy, leak-audited per host and fleet-wide.
+func BenchmarkFleet100x20(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(fleet.Config{
+			Baseline:  cluster.BaselineFastIOV,
+			Policy:    fleet.PolicyLeastLoaded,
+			HostSpecs: fleet.HeterogeneousSpecs(100),
+			Requests:  100 * 20,
+			Seed:      1,
+			Audit:     true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Leaks.Clean() {
+			b.Fatal("fleet leak audit dirty")
+		}
+	}
+}
 
 func BenchmarkSimulatorFullStartup200(b *testing.B) {
 	// Wall-clock cost of simulating a complete 200-container FastIOV

@@ -87,6 +87,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		metricsCSV = fs.String("metrics-csv", "", "write the sampled per-metric time series of one metered startup run as CSV to this file and exit")
 		dashboard  = fs.Bool("dashboard", false, "print an ASCII host dashboard of one metered startup run and exit")
 		metricBase = fs.String("metrics-baseline", "vanilla", "baseline for -metrics/-metrics-csv/-dashboard")
+		snapshots  = fs.Bool("snapshots", true, "cache boot-prefix snapshots so scenarios sharing a boot clone it instead of re-simulating (results identical either way)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -179,6 +180,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		VerifyDeterminism: *verify,
 		FaultSpec:         *faults,
 		Fleet:             fastiov.FleetConfig{Hosts: *hosts, Policy: *policy},
+		DisableSnapshots:  !*snapshots,
 	})
 	entries := suite.Experiments()
 	if *list {

@@ -163,6 +163,11 @@ type RunConfig struct {
 	// Fleet sizes the fleet experiment (the cluster-level placement sweep):
 	// zero values keep the paper-scale defaults.
 	Fleet FleetConfig
+	// DisableSnapshots turns off boot-prefix snapshot caching, forcing
+	// every scenario to re-simulate its host boot from scratch. Results
+	// are byte-identical either way (restores are verified transparent);
+	// the switch exists to re-measure the uncached reference.
+	DisableSnapshots bool
 }
 
 // FleetConfig parameterizes the fleet experiment.
@@ -218,6 +223,7 @@ func NewSuite(cfg RunConfig) *Suite {
 	x.SetTrace(cfg.Trace)
 	x.SetMetrics(cfg.Metrics)
 	x.SetFleet(cfg.Fleet.Hosts, cfg.Fleet.Policy)
+	x.SetSnapshots(!cfg.DisableSnapshots)
 	s := &Suite{cfg: cfg, x: x}
 	if cfg.FaultSpec != "" {
 		pl, err := fault.ParsePlan(cfg.FaultSpec)
@@ -273,7 +279,11 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	if err != nil {
 		return err
 	}
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet})
+	// The serial reference deliberately flips the snapshot setting: when
+	// the pooled run used cached boot snapshots, the serial re-run boots
+	// every host from scratch (and vice versa), so the byte comparison
+	// also pins snapshot transparency end-to-end.
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet, DisableSnapshots: !s.cfg.DisableSnapshots})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)

@@ -1,3 +1,3 @@
 module fastiov
 
-go 1.22
+go 1.23

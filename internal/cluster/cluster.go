@@ -200,9 +200,9 @@ func (a Arrival) Times(rng *sim.Rand, n int, jitter time.Duration) []time.Durati
 			}
 		}
 	default: // burst
-		for i := 0; i < n; i++ {
-			out[i] = rng.Duration(jitter)
-		}
+		// Batched draws: identical stream positions to n sequential
+		// rng.Duration calls, without per-call overhead.
+		rng.Durations(out, jitter)
 	}
 	return out
 }
@@ -439,7 +439,22 @@ func NewHostOn(k *sim.Kernel, rng *sim.Rand, spec HostSpec, opts Options) (*Host
 		}
 	}
 
-	h.Env = hypervisor.NewEnv(k, h.Mem, h.KVM, h.VFIO, h.Lazy, h.CPU)
+	if err := h.wireStack(pol); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// wireStack builds the software stack above the hardware substrates —
+// hypervisor environment, CNI plugin, container engine, metrics — and
+// takes the boot-baseline audit snapshot. It is shared by NewHostOn
+// (hardware built fresh) and RestoreSnapshot (hardware cloned from a
+// boot-prefix snapshot); the only kernel-visible action it performs is the
+// metrics sampler daemon spawn, so both callers produce identical kernel
+// clock/seq state and probe streams.
+func (h *Host) wireStack(pol fault.Policy) error {
+	opts := h.Opts
+	h.Env = hypervisor.NewEnv(h.K, h.Mem, h.KVM, h.VFIO, h.Lazy, h.CPU)
 	h.Env.Faults = h.Faults
 	h.Env.Retry = pol
 
@@ -462,7 +477,7 @@ func NewHostOn(k *sim.Kernel, rng *sim.Rand, spec HostSpec, opts Options) (*Host
 		ipvtap.Faults = h.Faults
 		plugin = ipvtap
 	default:
-		return nil, fmt.Errorf("cluster: unknown network mode %d", opts.Network)
+		return fmt.Errorf("cluster: unknown network mode %d", opts.Network)
 	}
 
 	gcosts := guest.DefaultCosts()
@@ -489,13 +504,13 @@ func NewHostOn(k *sim.Kernel, rng *sim.Rand, spec HostSpec, opts Options) (*Host
 	if opts.Metrics {
 		h.Metrics = metrics.New(opts.MetricsCadence)
 		h.attachMetrics()
-		k.ChainProbe(h.Metrics.Observer())
-		h.Metrics.Start(k)
+		h.K.ChainProbe(h.Metrics.Observer())
+		h.Metrics.Start(h.K)
 	}
 	// The baseline is taken after boot-time VF binding and pre-zeroing so
 	// it reflects the steady idle state every experiment must return to.
 	h.Baseline = h.AuditSnapshot()
-	return h, nil
+	return nil
 }
 
 // Result carries one experiment's outcome.

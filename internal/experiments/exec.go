@@ -43,6 +43,14 @@ type Exec struct {
 	// policy ("" sweeps all of them).
 	fleetHosts  int
 	fleetPolicy string
+	// snapshots enables boot-prefix snapshot caching: the first scenario
+	// needing a given (boot inputs, seed) boots a host and captures a
+	// cluster.Snapshot into the singleflight cache under Scope "boot";
+	// every scenario sharing that boot then clones the snapshot instead of
+	// re-simulating the boot prefix. Restores are verified byte-transparent
+	// (kernel clock and audit baseline must match the captured boot), so
+	// results are identical with snapshots on or off.
+	snapshots bool
 }
 
 // NewExec returns an executor with the given worker count (<= 0 selects
@@ -52,7 +60,7 @@ func NewExec(workers int, seeds []uint64) *Exec {
 	if len(seeds) == 0 {
 		seeds = []uint64{1}
 	}
-	return &Exec{pool: harness.New(workers), seeds: append([]uint64(nil), seeds...)}
+	return &Exec{pool: harness.New(workers), seeds: append([]uint64(nil), seeds...), snapshots: true}
 }
 
 // SeedList returns 1..k, the conventional seed sweep.
@@ -82,6 +90,15 @@ func (x *Exec) Workers() int { return x.pool.Workers() }
 // executes twice and any byte-level divergence of its canonical result
 // encoding fails the experiment.
 func (x *Exec) SetVerify(v bool) { x.pool.SetVerify(v) }
+
+// SetSnapshots toggles boot-prefix snapshot caching (on by default).
+// Results are byte-identical either way; turning it off forces every
+// scenario to re-simulate host boot, which the transparency regression
+// tests use as the reference.
+func (x *Exec) SetSnapshots(v bool) { x.snapshots = v }
+
+// Snapshots reports whether boot-prefix snapshot caching is enabled.
+func (x *Exec) Snapshots() bool { return x.snapshots }
 
 // SetFaults installs an executor-wide fault plan inherited by every spec
 // that does not pin its own. The plan participates in cache keys, so
@@ -120,6 +137,85 @@ func (x *Exec) CacheStats() CacheStats { return x.pool.Stats() }
 // byte comparison.
 func FirstDivergence(a, b []byte) (offset int, detail string) {
 	return harness.FirstDivergence(a, b)
+}
+
+// ----------------------------------------------------------------------
+// Boot-prefix snapshot cache.
+
+// bootParams canonically encodes everything that shapes a host boot: the
+// scenario key minus the fields that only shape the measured wave
+// (concurrency, arrival process). Scenarios agreeing on these tokens — and
+// on the seed — boot byte-identical hosts and therefore share one cached
+// snapshot.
+func bootParams(baseline string, layout *hypervisor.Layout, spec *cluster.HostSpec, noscrub bool, faults *fault.Plan, traced, metered bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b=%s", baseline)
+	if layout != nil {
+		fmt.Fprintf(&b, " layout=%+v", *layout)
+	}
+	if spec != nil {
+		fmt.Fprintf(&b, " spec=%+v", *spec)
+	}
+	if noscrub {
+		b.WriteString(" noscrub")
+	}
+	if !faults.Empty() {
+		fmt.Fprintf(&b, " faults=%s", faults)
+	}
+	if traced {
+		b.WriteString(" trace")
+	}
+	if metered {
+		b.WriteString(" metrics")
+	}
+	return b.String()
+}
+
+// boot obtains a booted host for a scenario. With snapshots enabled, the
+// singleflight cache is consulted under Scope "boot": the first scenario
+// needing this boot simulates it and captures a snapshot; everyone else
+// (including the same scenario's verification rerun) clones the snapshot,
+// skipping the boot prefix. opts must already be fully resolved; the
+// restored host adopts it verbatim, so wave-shaping fields (Arrival,
+// StartJitter, Audit) that are deliberately outside the boot key still
+// take effect.
+func (x *Exec) boot(params string, spec cluster.HostSpec, opts cluster.Options) (*cluster.Host, error) {
+	if !x.snapshots {
+		return cluster.NewHost(spec, opts)
+	}
+	v, err := x.pool.One(harness.Job{
+		Key: harness.Key{Scope: "boot", Params: params, Seed: opts.Seed},
+		Fn: func() (any, error) {
+			h, err := cluster.NewHost(spec, opts)
+			if err != nil {
+				return nil, err
+			}
+			return cluster.CaptureSnapshot(h)
+		},
+		Fingerprint: fingerprintSnapshot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h, err := cluster.RestoreSnapshot(v.(*cluster.Snapshot))
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot may have been captured by a scenario differing only in
+	// wave-shaping options; those never influence boot, so adopting this
+	// scenario's full options keeps the measured wave faithful.
+	h.Opts = opts
+	return h, nil
+}
+
+// fingerprintSnapshot canonically serializes a boot snapshot so verify
+// mode can double-boot and byte-compare the captures.
+func fingerprintSnapshot(v any) ([]byte, error) {
+	snap, ok := v.(*cluster.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fingerprinting %T, want *cluster.Snapshot", v)
+	}
+	return snap.AppendCanonical(nil), nil
 }
 
 // ----------------------------------------------------------------------
@@ -187,10 +283,11 @@ func (s startupSpec) params() string {
 	return b.String()
 }
 
-// run executes the spec at one seed on a private simulated host. The
-// returned result is sealed (samples pre-sorted) and must be treated as
-// immutable: the harness caches and shares it across experiments.
-func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
+// run executes the spec at one seed on a private simulated host (booted
+// from the executor's snapshot cache when enabled). The returned result is
+// sealed (samples pre-sorted) and must be treated as immutable: the
+// harness caches and shares it across experiments.
+func (s startupSpec) run(x *Exec, seed uint64) (*cluster.Result, error) {
 	opts, err := cluster.OptionsFor(s.Baseline)
 	if err != nil {
 		return nil, err
@@ -218,7 +315,7 @@ func (s startupSpec) run(seed uint64) (*cluster.Result, error) {
 	if s.Spec != nil {
 		spec = *s.Spec
 	}
-	h, err := cluster.NewHost(spec, opts)
+	h, err := x.boot(bootParams(s.Baseline, s.Layout, s.Spec, s.DisableScrubber, s.Faults, s.traced(), s.metered()), spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +453,7 @@ func (x *Exec) startups(specs []startupSpec) ([]*MultiResult, error) {
 			seed := seed
 			jobs = append(jobs, harness.Job{
 				Key:         harness.Key{Scope: "startup", Params: sp.params(), Seed: seed},
-				Fn:          func() (any, error) { return sp.run(seed) },
+				Fn:          func() (any, error) { return sp.run(x, seed) },
 				Fingerprint: fingerprintResult,
 			})
 		}
@@ -433,7 +530,7 @@ func (s serverlessSpec) params() string {
 	return b.String()
 }
 
-func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
+func (s serverlessSpec) run(x *Exec, seed uint64) (*stats.Sample, error) {
 	opts, err := cluster.OptionsFor(s.Baseline)
 	if err != nil {
 		return nil, err
@@ -452,7 +549,7 @@ func (s serverlessSpec) run(seed uint64) (*stats.Sample, error) {
 	// after the sample is taken and the conservation counters checked (see
 	// startupSpec.run).
 	opts.Audit = true
-	h, err := cluster.NewHost(cluster.DefaultHostSpec(), opts)
+	h, err := x.boot(bootParams(s.Baseline, s.Layout, nil, s.DisableScrubber, s.Faults, s.traced(), s.metered()), cluster.DefaultHostSpec(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +622,7 @@ func (x *Exec) serverlessRuns(specs []serverlessSpec) ([]*MultiSample, error) {
 			seed := seed
 			jobs = append(jobs, harness.Job{
 				Key:         harness.Key{Scope: "serverless", Params: sp.params(), Seed: seed},
-				Fn:          func() (any, error) { return sp.run(seed) },
+				Fn:          func() (any, error) { return sp.run(x, seed) },
 				Fingerprint: fingerprintSample,
 			})
 		}

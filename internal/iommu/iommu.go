@@ -10,6 +10,7 @@ import (
 
 	"fastiov/internal/fault"
 	"fastiov/internal/hostmem"
+	"fastiov/internal/pagetab"
 	"fastiov/internal/sim"
 )
 
@@ -43,7 +44,7 @@ func New(k *sim.Kernel, pageSize int64) *IOMMU {
 type Domain struct {
 	ID   int
 	unit *IOMMU
-	pt   map[int64]int64 // IOVA page number -> HPA page number
+	pt   *pagetab.Table // IOVA page number -> HPA page number
 
 	// MappedBytes tracks the total mapped size for reporting.
 	MappedBytes int64
@@ -52,7 +53,7 @@ type Domain struct {
 // CreateDomain allocates a fresh, empty domain.
 func (u *IOMMU) CreateDomain() *Domain {
 	u.nextID++
-	d := &Domain{ID: u.nextID, unit: u, pt: make(map[int64]int64)}
+	d := &Domain{ID: u.nextID, unit: u, pt: pagetab.New()}
 	u.domains[d.ID] = d
 	return d
 }
@@ -75,7 +76,7 @@ func (u *IOMMU) Domains() int { return len(u.domains) }
 func (u *IOMMU) TotalMappedPages() int {
 	total := 0
 	for _, d := range u.domains {
-		total += len(d.pt)
+		total += d.pt.Len()
 	}
 	return total
 }
@@ -100,11 +101,10 @@ func (d *Domain) Map(p *sim.Proc, iovaBase int64, region *hostmem.Region) error 
 		if err != nil {
 			return
 		}
-		if _, exists := d.pt[iovaPage]; exists {
+		if !d.pt.Insert(iovaPage, hpa) {
 			err = fmt.Errorf("iommu: IOVA page %#x already mapped in domain %d", iovaPage, d.ID)
 			return
 		}
-		d.pt[iovaPage] = hpa
 		iovaPage++
 		count++
 	})
@@ -123,8 +123,7 @@ func (d *Domain) Unmap(p *sim.Proc, iovaBase, bytes int64) {
 	start := iovaBase / d.unit.pageSize
 	n := (bytes + d.unit.pageSize - 1) / d.unit.pageSize
 	for i := int64(0); i < n; i++ {
-		if _, ok := d.pt[start+i]; ok {
-			delete(d.pt, start+i)
+		if d.pt.Delete(start + i) {
 			d.MappedBytes -= d.unit.pageSize
 		}
 	}
@@ -137,7 +136,7 @@ func (d *Domain) Unmap(p *sim.Proc, iovaBase, bytes int64) {
 // DMA operations").
 func (d *Domain) Translate(iova int64) (int64, error) {
 	page := iova / d.unit.pageSize
-	hpa, ok := d.pt[page]
+	hpa, ok := d.pt.Get(page)
 	if !ok {
 		return 0, fmt.Errorf("iommu: fault: IOVA %#x unmapped in domain %d", iova, d.ID)
 	}
@@ -146,9 +145,8 @@ func (d *Domain) Translate(iova int64) (int64, error) {
 
 // TranslatePage resolves an IOVA page number to an HPA page number.
 func (d *Domain) TranslatePage(iovaPage int64) (int64, bool) {
-	hpa, ok := d.pt[iovaPage]
-	return hpa, ok
+	return d.pt.Get(iovaPage)
 }
 
 // MappedPages returns the number of live translations.
-func (d *Domain) MappedPages() int { return len(d.pt) }
+func (d *Domain) MappedPages() int { return d.pt.Len() }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"fastiov/internal/hostmem"
+	"fastiov/internal/pagetab"
 	"fastiov/internal/sim"
 )
 
@@ -62,8 +63,13 @@ type MemSlot struct {
 	Bytes   int64
 	Backing *hostmem.Region
 
-	pages  []int64         // flattened HPA pages of Backing
-	demand map[int64]int64 // slot page index -> demand-allocated HPA page
+	// contig/base give O(1) page lookup for single-run backing regions
+	// (the common case: the allocator's contiguous-run scan); pages is the
+	// flattened fallback for fragmented regions.
+	contig bool
+	base   int64
+	pages  []int64
+	demand *pagetab.Table // slot page index -> demand-allocated HPA page (nil for backed slots)
 }
 
 // VM is one microVM as KVM sees it.
@@ -72,7 +78,7 @@ type VM struct {
 	kvm   *KVM
 	mem   *hostmem.Allocator
 	slots []*MemSlot
-	ept   map[int64]int64 // GPA page -> HPA page
+	ept   *pagetab.Table // GPA page -> HPA page
 
 	// Faults counts EPT violations taken; Hits counts translations served
 	// from the EPT without a fault. §6.5's "<1% overhead" argument rests on
@@ -89,7 +95,7 @@ func (h *KVM) CreateVM() *VM {
 		PID: h.nextPID,
 		kvm: h,
 		mem: h.mem,
-		ept: make(map[int64]int64),
+		ept: pagetab.New(),
 	}
 	h.vms[vm.PID] = vm
 	return vm
@@ -99,13 +105,11 @@ func (h *KVM) CreateVM() *VM {
 // regions are owned (and freed) by the VFIO/hypervisor layer.
 func (h *KVM) DestroyVM(p *sim.Proc, vm *VM) {
 	for _, s := range vm.slots {
-		if len(s.demand) == 0 {
+		if s.demand.Len() == 0 {
 			continue
 		}
-		pages := make([]int64, 0, len(s.demand))
-		for _, hpa := range s.demand {
-			pages = append(pages, hpa)
-		}
+		pages := make([]int64, 0, s.demand.Len())
+		s.demand.Range(func(_, hpa int64) { pages = append(pages, hpa) })
 		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 		r := &hostmem.Region{Bytes: int64(len(pages)) * h.mem.PageSize()}
 		for _, hpa := range pages {
@@ -128,7 +132,7 @@ func (h *KVM) DemandPages() int {
 	total := 0
 	for _, vm := range h.vms {
 		for _, s := range vm.slots {
-			total += len(s.demand)
+			total += s.demand.Len()
 		}
 	}
 	return total
@@ -150,13 +154,25 @@ func (vm *VM) AddSlot(name string, gpaBase, bytes int64, backing *hostmem.Region
 		if backing.PageCount()*ps < bytes {
 			return nil, fmt.Errorf("kvm: backing region too small for slot %q", name)
 		}
-		slot.pages = make([]int64, 0, backing.PageCount())
-		backing.Pages(func(pg int64) { slot.pages = append(slot.pages, pg) })
+		if len(backing.Runs) == 1 {
+			slot.contig, slot.base = true, backing.Runs[0].Start
+		} else {
+			slot.pages = make([]int64, 0, backing.PageCount())
+			backing.Pages(func(pg int64) { slot.pages = append(slot.pages, pg) })
+		}
 	} else {
-		slot.demand = make(map[int64]int64)
+		slot.demand = pagetab.New()
 	}
 	vm.slots = append(vm.slots, slot)
 	return slot, nil
+}
+
+// hpaAt returns the HPA page backing slot-relative page index idx.
+func (s *MemSlot) hpaAt(idx int64) int64 {
+	if s.contig {
+		return s.base + idx
+	}
+	return s.pages[idx]
 }
 
 // Slots returns the VM's memory slots.
@@ -180,7 +196,7 @@ func (vm *VM) slotFor(gpa int64) (*MemSlot, error) {
 func (vm *VM) Touch(p *sim.Proc, gpa int64, write bool) error {
 	ps := vm.mem.PageSize()
 	gpaPage := gpa / ps
-	hpa, ok := vm.ept[gpaPage]
+	hpa, ok := vm.ept.Get(gpaPage)
 	if !ok {
 		slot, err := vm.slotFor(gpa)
 		if err != nil {
@@ -188,8 +204,8 @@ func (vm *VM) Touch(p *sim.Proc, gpa int64, write bool) error {
 		}
 		idx := (gpa - slot.GPABase) / ps
 		if slot.Backing != nil {
-			hpa = slot.pages[idx]
-		} else if hpa, ok = slot.demand[idx]; !ok {
+			hpa = slot.hpaAt(idx)
+		} else if hpa, ok = slot.demand.Get(idx); !ok {
 			// Demand paging: the host fault handler allocates and zeroes
 			// the page before mapping it (standard lazy zeroing, available
 			// only without passthrough DMA).
@@ -199,12 +215,12 @@ func (vm *VM) Touch(p *sim.Proc, gpa int64, write bool) error {
 			}
 			hpa = r.Runs[0].Start
 			vm.mem.ZeroPage(p, hpa)
-			slot.demand[idx] = hpa
+			slot.demand.Set(idx, hpa)
 		}
 		if vm.kvm.Hook != nil {
 			vm.kvm.Hook(p, vm.PID, hpa)
 		}
-		vm.ept[gpaPage] = hpa
+		vm.ept.Set(gpaPage, hpa)
 		vm.Faults++
 		vm.kvm.TotalFaults++
 		p.Sleep(vm.kvm.EPTFaultCost)
@@ -261,9 +277,9 @@ func (vm *VM) ResolveHPA(p *sim.Proc, gpa int64) (int64, error) {
 	}
 	idx := (gpa - slot.GPABase) / ps
 	if slot.Backing != nil {
-		return slot.pages[idx], nil
+		return slot.hpaAt(idx), nil
 	}
-	if hpa, ok := slot.demand[idx]; ok {
+	if hpa, ok := slot.demand.Get(idx); ok {
 		return hpa, nil
 	}
 	r, err := vm.mem.Allocate(p, ps)
@@ -272,9 +288,9 @@ func (vm *VM) ResolveHPA(p *sim.Proc, gpa int64) (int64, error) {
 	}
 	hpa := r.Runs[0].Start
 	vm.mem.ZeroPage(p, hpa)
-	slot.demand[idx] = hpa
+	slot.demand.Set(idx, hpa)
 	return hpa, nil
 }
 
 // EPTEntries returns the number of installed translations.
-func (vm *VM) EPTEntries() int { return len(vm.ept) }
+func (vm *VM) EPTEntries() int { return vm.ept.Len() }

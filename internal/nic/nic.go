@@ -104,6 +104,41 @@ func New(k *sim.Kernel, topo *pci.Topology, cfg Config) *NIC {
 // PF returns the physical function device.
 func (n *NIC) PF() *pci.Device { return n.pf }
 
+// Clone returns a deep copy of the card bound to kernel k, re-pointing the
+// PF and every VF at the cloned PCI devices in remap (from
+// pci.Topology.Clone). VF pool order is preserved exactly — AllocVF hands
+// out VFs in free-list order, so the clone leases the same VFs in the same
+// sequence as the original would. The link resource is recreated fresh
+// under its original name; the card must be quiescent (no in-flight
+// transfers), which boot-prefix snapshots guarantee.
+func (n *NIC) Clone(k *sim.Kernel, remap map[*pci.Device]*pci.Device) *NIC {
+	c := &NIC{
+		k:         k,
+		cfg:       n.cfg,
+		pf:        remap[n.pf],
+		link:      sim.NewResource(n.link.Name(), n.linkLanes),
+		laneBps:   n.laneBps,
+		linkLanes: n.linkLanes,
+	}
+	c.vfs = make([]*VF, len(n.vfs))
+	for i, vf := range n.vfs {
+		c.vfs[i] = &VF{
+			Index:      vf.Index,
+			Dev:        remap[vf.Dev],
+			MAC:        vf.MAC,
+			HostIfname: vf.HostIfname,
+			Assigned:   vf.Assigned,
+			LinkUp:     vf.LinkUp,
+			nic:        c,
+		}
+	}
+	c.free = make([]*VF, len(n.free))
+	for i, vf := range n.free {
+		c.free[i] = c.vfs[vf.Index]
+	}
+	return c
+}
+
 // CreateVFs performs the one-time VF pre-creation the Kubelet triggers after
 // host boot (§2.3): NIC hardware configuration per VF, placing each VF on
 // the PF's bus. Time for this step is charged but, as in the paper, it is

@@ -7,6 +7,7 @@ package pci
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fastiov/internal/sim"
@@ -149,4 +150,46 @@ func (t *Topology) Buses() []*Bus {
 		out = append(out, b)
 	}
 	return out
+}
+
+// Clone deep-copies the topology: every bus and device is duplicated,
+// preserving per-bus device order (which higher layers iterate) and driver
+// bindings. The returned map translates original device pointers to their
+// clones so sibling structures (NIC VF pools, VFIO registrations) can be
+// re-pointed consistently.
+func (t *Topology) Clone() (*Topology, map[*Device]*Device) {
+	nt := NewTopology()
+	remap := make(map[*Device]*Device, len(t.byBDF))
+	nums := make([]int, 0, len(t.buses))
+	for n := range t.buses {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		b := t.buses[n]
+		nb := nt.AddBus(n)
+		for _, d := range b.devices {
+			nd := &Device{
+				Addr:   d.Addr,
+				Name:   d.Name,
+				Vendor: d.Vendor,
+				DevID:  d.DevID,
+				Reset:  d.Reset,
+				IsVF:   d.IsVF,
+				driver: d.driver,
+				bus:    nb,
+			}
+			nb.devices = append(nb.devices, nd)
+			nt.byBDF[nd.Addr] = nd
+			remap[d] = nd
+		}
+	}
+	// Parent pointers resolve in a second pass: a VF's PF may sit anywhere
+	// in the walk order.
+	for d, nd := range remap {
+		if d.Parent != nil {
+			nd.Parent = remap[d.Parent]
+		}
+	}
+	return nt, remap
 }

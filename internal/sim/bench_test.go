@@ -1,0 +1,81 @@
+package sim
+
+// Microbenchmarks for the kernel's two hot paths: the spawn/join cycle
+// (one coroutine per simulated thread) and the flat event queue. Both are
+// gated in CI: BenchmarkEventQueue must report 0 allocs/op in steady
+// state — any regression back to a boxing or per-push-allocating queue
+// fails the bench smoke job. Seed numbers live in BENCH_kernel.json.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelSpawnJoin measures one spawn → sleep → join cycle: the
+// per-simulated-thread overhead (proc record, coroutine creation, two
+// scheduler passes, done-event fire).
+func BenchmarkKernelSpawnJoin(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	k.Go("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c := k.Go("child", func(c *Proc) { c.Sleep(time.Microsecond) })
+			p.Join(c)
+		}
+	})
+	k.Run()
+}
+
+// BenchmarkEventQueue drives the flat heap through full push/pop cycles at
+// three sizes. The backing array is warmed before the timer starts, so the
+// measured loop is the steady state the simulator lives in — it must run
+// allocation-free (CI enforces 0 allocs/op).
+func BenchmarkEventQueue(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := NewRand(42)
+			at := make([]Duration, n)
+			for i := range at {
+				at[i] = Duration(rng.Uint64() % uint64(time.Second))
+			}
+			var q eventQueue
+			// Warm the backing array to capacity n.
+			for j := 0; j < n; j++ {
+				q.push(event{at: at[j], seq: uint64(j)})
+			}
+			for q.len() > 0 {
+				q.pop()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					q.push(event{at: at[j], seq: uint64(j)})
+				}
+				prev := event{at: -1}
+				for q.len() > 0 {
+					e := q.pop()
+					if e.less(prev) {
+						b.Fatalf("heap order violated: %v after %v", e, prev)
+					}
+					prev = e
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelSleepFastPath measures the inline-advance case: a lone
+// proc sleeping with no competing events skips the coroutine switch
+// entirely.
+func BenchmarkKernelSleepFastPath(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,129 @@
+package sim
+
+// Property and fuzz coverage for the flat event queue. The reference model
+// is the standard library's container/heap over the same (at, seq) order —
+// the implementation the flat queue replaced. Both must pop identical
+// sequences for every interleaving of pushes and pops, including duplicate
+// timestamps, where the seq tiebreak is the entire determinism contract.
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+// refHeap is the container/heap reference model.
+type refHeap []event
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	*h = old[:n]
+	return e
+}
+
+// driveBoth applies one op stream to the flat queue and the reference model
+// and asserts identical pop results throughout. ops is consumed as pairs:
+// an op byte selects push (even) or pop (odd); push draws its timestamp
+// from the next byte so duplicate times are common.
+func driveBoth(t interface {
+	Fatalf(format string, args ...any)
+}, ops []byte) {
+	var q eventQueue
+	ref := &refHeap{}
+	heap.Init(ref)
+	var seq uint64
+	for i := 0; i+1 < len(ops); i += 2 {
+		if ops[i]%2 == 0 {
+			// Push. Timestamps collide on purpose: only 16 distinct values.
+			seq++
+			e := event{at: Duration(ops[i+1]%16) * time.Millisecond, seq: seq}
+			q.push(e)
+			heap.Push(ref, e)
+		} else {
+			if q.len() != ref.Len() {
+				t.Fatalf("op %d: len mismatch: flat=%d ref=%d", i, q.len(), ref.Len())
+			}
+			if q.len() == 0 {
+				continue
+			}
+			if got, want := q.minAt(), (*ref)[0].at; got != want {
+				t.Fatalf("op %d: minAt mismatch: flat=%v ref=%v", i, got, want)
+			}
+			got := q.pop()
+			want := heap.Pop(ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("op %d: pop mismatch: flat=(%v,%d) ref=(%v,%d)",
+					i, got.at, got.seq, want.at, want.seq)
+			}
+		}
+	}
+	// Drain: the remaining contents must agree element for element.
+	for q.len() > 0 {
+		if ref.Len() == 0 {
+			t.Fatalf("drain: flat queue has %d extra events", q.len())
+		}
+		got := q.pop()
+		want := heap.Pop(ref).(event)
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: pop mismatch: flat=(%v,%d) ref=(%v,%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if ref.Len() != 0 {
+		t.Fatalf("drain: reference has %d extra events", ref.Len())
+	}
+}
+
+// TestEventQueueMatchesReferenceModel drives long random op streams from
+// many seeds through both implementations.
+func TestEventQueueMatchesReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := NewRand(seed)
+		ops := make([]byte, 4096)
+		for i := range ops {
+			ops[i] = byte(rng.Uint64())
+		}
+		driveBoth(t, ops)
+	}
+}
+
+// TestEventQueueEqualTimeFIFO pins the tiebreak directly: N events at one
+// timestamp pop in push (seq) order.
+func TestEventQueueEqualTimeFIFO(t *testing.T) {
+	var q eventQueue
+	const n = 257 // non-power-of-two exercises ragged heap levels
+	for i := 0; i < n; i++ {
+		q.push(event{at: time.Millisecond, seq: uint64(i + 1)})
+	}
+	for i := 0; i < n; i++ {
+		e := q.pop()
+		if e.seq != uint64(i+1) {
+			t.Fatalf("pop %d: got seq %d, want %d (equal-time events must be FIFO)", i, e.seq, i+1)
+		}
+	}
+}
+
+// FuzzEventQueue feeds arbitrary op streams through the differential
+// driver: the flat heap must never panic, never diverge from the reference
+// model, and never reorder equal-time events (the reference pops strictly
+// increasing seq within a timestamp, so any reordering trips the mismatch
+// check).
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 1, 0})
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 1, 0, 1, 0, 1, 0})
+	rng := NewRand(7)
+	big := make([]byte, 512)
+	for i := range big {
+		big[i] = byte(rng.Uint64())
+	}
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		driveBoth(t, ops)
+	})
+}

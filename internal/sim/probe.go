@@ -128,10 +128,19 @@ func (k *Kernel) ChainProbe(fn func(at Duration, ev ProbeEvent)) {
 	}
 }
 
-// emit delivers one probe event at the current virtual time. Emissions are
-// suppressed during abort: the unwind of parked goroutines (deferred
-// releases, stale wakeups) happens after the simulation has quiesced and is
-// not part of the observed execution.
+// probing reports whether emissions are currently observable. Every
+// emission site guards its emit call with this check, so an unobserved run
+// pays one inlined nil-check per site and never materializes probe-event
+// arguments. Emissions are suppressed during abort: the unwind of parked
+// coroutines (deferred releases, stale wakeups) happens after the
+// simulation has quiesced and is not part of the observed execution.
+func (k *Kernel) probing() bool {
+	return k.probe != nil && !k.aborted
+}
+
+// emit delivers one probe event at the current virtual time. Callers must
+// check probing() first (emit re-checks only as a safety net for direct
+// callers in tests).
 func (k *Kernel) emit(kind ProbeKind, class WaitClass, obj string, p, waker *Proc, n int64) {
 	if k.probe == nil || k.aborted {
 		return

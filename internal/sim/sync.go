@@ -23,12 +23,17 @@ type Mutex struct {
 // NewMutex returns a named mutex. The name appears in deadlock reports.
 func NewMutex(name string) *Mutex { return &Mutex{name: name} }
 
+// Name returns the mutex's name.
+func (m *Mutex) Name() string { return m.name }
+
 // Lock acquires m, blocking p until the mutex is available.
 func (m *Mutex) Lock(p *Proc) {
 	m.Acquisitions++
 	if m.owner == nil {
 		m.owner = p
-		p.k.emit(ProbeAcquire, WaitMutex, m.name, p, nil, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitMutex, m.name, p, nil, 0)
+		}
 		return
 	}
 	if m.owner == p {
@@ -46,7 +51,9 @@ func (m *Mutex) TryLock(p *Proc) bool {
 	}
 	m.Acquisitions++
 	m.owner = p
-	p.k.emit(ProbeAcquire, WaitMutex, m.name, p, nil, 0)
+	if p.k.probing() {
+		p.k.emit(ProbeAcquire, WaitMutex, m.name, p, nil, 0)
+	}
 	return true
 }
 
@@ -55,7 +62,9 @@ func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic(fmt.Sprintf("sim: Unlock of %s by non-owner %s", m.name, p.name))
 	}
-	p.k.emit(ProbeRelease, WaitMutex, m.name, p, nil, 0)
+	if p.k.probing() {
+		p.k.emit(ProbeRelease, WaitMutex, m.name, p, nil, 0)
+	}
 	if len(m.waiters) == 0 {
 		m.owner = nil
 		return
@@ -65,7 +74,9 @@ func (m *Mutex) Unlock(p *Proc) {
 	m.owner = next
 	// FIFO handoff: ownership transfers at the release instant, and the
 	// releaser is the causal source of the waiter's wake-up.
-	p.k.emit(ProbeAcquire, WaitMutex, m.name, next, p, 0)
+	if p.k.probing() {
+		p.k.emit(ProbeAcquire, WaitMutex, m.name, next, p, 0)
+	}
 	p.k.schedule(p.k.now, next)
 }
 
@@ -95,12 +106,17 @@ type RWMutex struct {
 // NewRWMutex returns a named reader/writer lock.
 func NewRWMutex(name string) *RWMutex { return &RWMutex{name: name} }
 
+// Name returns the lock's name.
+func (rw *RWMutex) Name() string { return rw.name }
+
 // RLock acquires a read (shared) hold.
 func (rw *RWMutex) RLock(p *Proc) {
 	rw.Acquisitions++
 	if rw.writer == nil && len(rw.waiters) == 0 {
 		rw.readers++
-		p.k.emit(ProbeAcquire, WaitRWRead, rw.name, p, nil, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitRWRead, rw.name, p, nil, 0)
+		}
 		return
 	}
 	rw.Contended++
@@ -114,7 +130,9 @@ func (rw *RWMutex) RUnlock(p *Proc) {
 		panic("sim: RUnlock of " + rw.name + " with no readers")
 	}
 	rw.readers--
-	p.k.emit(ProbeRelease, WaitRWRead, rw.name, p, nil, 0)
+	if p.k.probing() {
+		p.k.emit(ProbeRelease, WaitRWRead, rw.name, p, nil, 0)
+	}
 	if rw.readers == 0 {
 		rw.dispatch(p)
 	}
@@ -125,7 +143,9 @@ func (rw *RWMutex) Lock(p *Proc) {
 	rw.Acquisitions++
 	if rw.writer == nil && rw.readers == 0 && len(rw.waiters) == 0 {
 		rw.writer = p
-		p.k.emit(ProbeAcquire, WaitRWWrite, rw.name, p, nil, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitRWWrite, rw.name, p, nil, 0)
+		}
 		return
 	}
 	rw.Contended++
@@ -139,7 +159,9 @@ func (rw *RWMutex) Unlock(p *Proc) {
 		panic("sim: Unlock of " + rw.name + " by non-writer")
 	}
 	rw.writer = nil
-	p.k.emit(ProbeRelease, WaitRWWrite, rw.name, p, nil, 0)
+	if p.k.probing() {
+		p.k.emit(ProbeRelease, WaitRWWrite, rw.name, p, nil, 0)
+	}
 	rw.dispatch(p)
 }
 
@@ -153,7 +175,9 @@ func (rw *RWMutex) dispatch(p *Proc) {
 		next := rw.waiters[0].p
 		rw.waiters = rw.waiters[1:]
 		rw.writer = next
-		p.k.emit(ProbeAcquire, WaitRWWrite, rw.name, next, p, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitRWWrite, rw.name, next, p, 0)
+		}
 		p.k.schedule(p.k.now, next)
 		return
 	}
@@ -161,7 +185,9 @@ func (rw *RWMutex) dispatch(p *Proc) {
 		next := rw.waiters[0].p
 		rw.waiters = rw.waiters[1:]
 		rw.readers++
-		p.k.emit(ProbeAcquire, WaitRWRead, rw.name, next, p, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitRWRead, rw.name, next, p, 0)
+		}
 		p.k.schedule(p.k.now, next)
 	}
 }
@@ -197,6 +223,9 @@ func NewResource(name string, capacity int64) *Resource {
 	return &Resource{name: name, cap: capacity}
 }
 
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
 // Cap returns the configured capacity.
 func (r *Resource) Cap() int64 { return r.cap }
 
@@ -210,7 +239,9 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	}
 	if len(r.waitq) == 0 && r.inUse+n <= r.cap {
 		r.take(n)
-		p.k.emit(ProbeAcquire, WaitResource, r.name, p, nil, n)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitResource, r.name, p, nil, n)
+		}
 		return
 	}
 	r.Waits++
@@ -224,12 +255,16 @@ func (r *Resource) Release(p *Proc, n int64) {
 	if r.inUse < 0 {
 		panic("sim: over-release of " + r.name)
 	}
-	p.k.emit(ProbeRelease, WaitResource, r.name, p, nil, n)
+	if p.k.probing() {
+		p.k.emit(ProbeRelease, WaitResource, r.name, p, nil, n)
+	}
 	for len(r.waitq) > 0 && r.inUse+r.waitq[0].n <= r.cap {
 		w := r.waitq[0]
 		r.waitq = r.waitq[1:]
 		r.take(w.n)
-		p.k.emit(ProbeAcquire, WaitResource, r.name, w.p, p, w.n)
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitResource, r.name, w.p, p, w.n)
+		}
 		p.k.schedule(p.k.now, w.p)
 	}
 }
@@ -274,7 +309,9 @@ func (wg *WaitGroup) Done(p *Proc) {
 	}
 	if wg.count == 0 {
 		for _, w := range wg.waiters {
-			p.k.emit(ProbeWake, WaitWG, "", w, p, 0)
+			if p.k.probing() {
+				p.k.emit(ProbeWake, WaitWG, "", w, p, 0)
+			}
 			p.k.schedule(p.k.now, w)
 		}
 		wg.waiters = nil
@@ -322,7 +359,9 @@ func (e *Event) fireBy(waker *Proc) {
 	}
 	e.fired = true
 	for _, w := range e.waiters {
-		e.k.emit(ProbeWake, WaitEvent, e.name, w, waker, 0)
+		if e.k.probing() {
+			e.k.emit(ProbeWake, WaitEvent, e.name, w, waker, 0)
+		}
 		e.k.schedule(e.k.now, w)
 	}
 	e.waiters = nil
@@ -357,7 +396,9 @@ func (q *Queue[T]) Push(p *Proc, v T) {
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
+		}
 		p.k.schedule(p.k.now, w)
 	}
 }
@@ -367,7 +408,9 @@ func (q *Queue[T]) Push(p *Proc, v T) {
 func (q *Queue[T]) Close(p *Proc) {
 	q.closed = true
 	for _, w := range q.waiters {
-		p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
+		if p.k.probing() {
+			p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
+		}
 		p.k.schedule(p.k.now, w)
 	}
 	q.waiters = nil

@@ -242,6 +242,88 @@ func (d *Driver) newSet() *DevSet {
 	}
 }
 
+// Clone returns a deep copy of the driver bound to kernel k, with every
+// registered device re-pointed at its clone in remap (from
+// pci.Topology.Clone) and wired to the given topology, allocator, and
+// IOMMU. Devset/device locks are recreated fresh under their original
+// names, and id counters (fd, devset, group, container) carry over so
+// post-clone allocations continue the original numbering.
+//
+// Clone is restricted to quiescent drivers — no open devices, no live DMA
+// mappings or domains, no container attachments — which is exactly the
+// state a boot-prefix snapshot captures; it errors otherwise rather than
+// silently dropping state. Faults is NOT carried over; the caller wires
+// the clone's injector.
+func (d *Driver) Clone(k *sim.Kernel, topo *pci.Topology, mem *hostmem.Allocator, mmu *iommu.IOMMU, remap map[*pci.Device]*pci.Device) (*Driver, error) {
+	c := &Driver{
+		k:         k,
+		topo:      topo,
+		mem:       mem,
+		mmu:       mmu,
+		mode:      d.mode,
+		costs:     d.costs,
+		Retry:     d.Retry,
+		Stats:     d.Stats,
+		Scope:     d.Scope,
+		busSets:   make(map[int]*DevSet, len(d.busSets)),
+		devices:   make(map[*pci.Device]*Device, len(d.devices)),
+		nextFD:    d.nextFD,
+		nextSet:   d.nextSet,
+		nextGroup: d.nextGroup,
+		nextCont:  d.nextCont,
+	}
+	var cloneErr error
+	setMap := make(map[*DevSet]*DevSet)
+	cloneSet := func(s *DevSet) *DevSet {
+		if cs, ok := setMap[s]; ok {
+			return cs
+		}
+		cs := &DevSet{
+			ID:        s.ID,
+			totalOpen: s.totalOpen,
+			global:    sim.NewMutex(s.global.Name()),
+			rw:        sim.NewRWMutex(s.rw.Name()),
+		}
+		setMap[s] = cs
+		// Member order is preserved: ResetSet iterates it, so a reordered
+		// clone would simulate differently.
+		for _, vd := range s.devices {
+			if vd.openCount > 0 || vd.domain != nil || len(vd.dmaRegions) > 0 || vd.group.cont != nil {
+				cloneErr = fmt.Errorf("vfio: clone of %s with live state (opens=%d, domain=%v, mappings=%d)",
+					vd.PDev.Addr, vd.openCount, vd.domain != nil, len(vd.dmaRegions))
+				return cs
+			}
+			npdev := remap[vd.PDev]
+			if npdev == nil {
+				cloneErr = fmt.Errorf("vfio: clone: %s missing from device remap", vd.PDev.Addr)
+				return cs
+			}
+			nv := &Device{
+				PDev:       npdev,
+				Set:        cs,
+				openCount:  vd.openCount,
+				mu:         sim.NewMutex(vd.mu.Name()),
+				fd:         vd.fd,
+				dmaRegions: make(map[int64]*hostmem.Region),
+			}
+			nv.group = &Group{ID: vd.group.ID, driver: c, devices: []*Device{nv}}
+			cs.devices = append(cs.devices, nv)
+			c.devices[nv.PDev] = nv
+		}
+		return cs
+	}
+	for bus, s := range d.busSets {
+		c.busSets[bus] = cloneSet(s)
+	}
+	for _, vd := range d.devices {
+		cloneSet(vd.Set) // singleton (slot-reset) devsets not in busSets
+	}
+	if cloneErr != nil {
+		return nil, cloneErr
+	}
+	return c, nil
+}
+
 // Unregister removes a device from VFIO management. It must be closed.
 func (d *Driver) Unregister(vd *Device) error {
 	if vd.openCount > 0 {
