@@ -13,6 +13,8 @@
 //	fastiov-bench -contention -n 100
 //	fastiov-bench -fleet -hosts 100 -n 20
 //	fastiov-bench -fleet -policy vf-aware
+//	fastiov-bench -serve -rate 64 -policy slo-aware
+//	fastiov-bench -serve -tenants "api:rate=40;batch:rate=20,prio=low"
 //	fastiov-bench -trace out.json -n 50
 //
 // With -n <= 0 every experiment runs at its paper-default parameters
@@ -80,8 +82,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		traceBase  = fs.String("trace-baseline", "vanilla", "baseline for -trace")
 		contention = fs.Bool("contention", false, "shorthand for -experiment contention")
 		fleetRun   = fs.Bool("fleet", false, "shorthand for -experiment fleet")
-		hosts      = fs.Int("hosts", 0, "fleet experiment host count (<=0 = paper-scale default)")
-		policy     = fs.String("policy", "", "restrict the fleet experiment to one placement policy (random|rr|least-loaded|vf-aware; empty sweeps all)")
+		serveRun   = fs.Bool("serve", false, "shorthand for -experiment serving")
+		hosts      = fs.Int("hosts", 0, "fleet/serving experiment host count (<=0 = paper-scale default)")
+		policy     = fs.String("policy", "", "restrict the fleet experiment to one placement policy (random|rr|least-loaded|vf-aware), or with -serve one admission policy (fifo|token-bucket|slo-aware); empty sweeps all")
+		rate       = fs.Float64("rate", 0, "serving experiment offered load in req/s (<=0 = the default overload ladder)")
+		tenants    = fs.String("tenants", "", "serving experiment workload spec, e.g. 'api:rate=40;batch:rate=20,prio=low' (empty = default tenant mix)")
 		jsonPath   = fs.String("json", "", "also write machine-readable results (fastiov-bench/v1 schema, see BENCH_SCHEMA.md) to this file")
 		metricsOut = fs.String("metrics", "", "write an OpenMetrics snapshot of one metered startup run to this file and exit")
 		metricsCSV = fs.String("metrics-csv", "", "write the sampled per-metric time series of one metered startup run as CSV to this file and exit")
@@ -94,6 +99,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if err := fastiov.ValidateFaultSpec(*faults); err != nil {
 		fmt.Fprintln(stderr, "fastiov-bench: -faults:", err)
+		return 2
+	}
+	if err := fastiov.ValidateWorkloadSpec(*tenants); err != nil {
+		fmt.Fprintln(stderr, "fastiov-bench: -tenants:", err)
 		return 2
 	}
 	if *tracePath != "" {
@@ -167,6 +176,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *fleetRun {
 		*experiment = "fleet"
 	}
+	// -serve routes the shared -policy and -hosts flags to the admission
+	// control plane rather than the fleet placement layer; an explicit
+	// -experiment serving routes them the same way.
+	servePolicy := ""
+	if *serveRun {
+		*experiment = "serving"
+	}
+	if *experiment == "serving" {
+		servePolicy = *policy
+		*policy = ""
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintln(stderr, "fastiov-bench:", err)
@@ -180,6 +200,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		VerifyDeterminism: *verify,
 		FaultSpec:         *faults,
 		Fleet:             fastiov.FleetConfig{Hosts: *hosts, Policy: *policy},
+		Serve:             fastiov.ServeConfig{Hosts: *hosts, Policy: servePolicy, Tenants: *tenants, Rate: *rate},
 		DisableSnapshots:  !*snapshots,
 	})
 	entries := suite.Experiments()

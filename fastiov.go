@@ -29,6 +29,7 @@ import (
 	"fastiov/internal/fleet"
 	"fastiov/internal/locks"
 	"fastiov/internal/metrics"
+	"fastiov/internal/serve"
 	"fastiov/internal/serverless"
 	"fastiov/internal/trace"
 	"fastiov/internal/zeromem"
@@ -163,6 +164,9 @@ type RunConfig struct {
 	// Fleet sizes the fleet experiment (the cluster-level placement sweep):
 	// zero values keep the paper-scale defaults.
 	Fleet FleetConfig
+	// Serve shapes the serving experiment (the admission-control study):
+	// zero values keep the serving defaults.
+	Serve ServeConfig
 	// DisableSnapshots turns off boot-prefix snapshot caching, forcing
 	// every scenario to re-simulate its host boot from scratch. Results
 	// are byte-identical either way (restores are verified transparent);
@@ -182,6 +186,45 @@ type FleetConfig struct {
 
 // FleetPolicies lists the placement policies the fleet experiment sweeps.
 func FleetPolicies() []string { return fleet.Policies() }
+
+// ServeConfig parameterizes the serving experiment.
+type ServeConfig struct {
+	// Hosts sizes the serving fleet; <= 0 keeps the serving default.
+	Hosts int
+	// Policy restricts the sweep to one admission policy (see
+	// ServePolicies); empty sweeps all of them.
+	Policy string
+	// Tenants overrides the workload spec (see ValidateWorkloadSpec); empty
+	// keeps the default three-tenant mix.
+	Tenants string
+	// Rate pins a single offered load in requests per second; <= 0 sweeps
+	// the offered-load ladder.
+	Rate float64
+}
+
+// ServePolicies lists the admission policies the serving experiment sweeps.
+func ServePolicies() []string { return serve.Policies() }
+
+// ValidateWorkloadSpec parses a serving workload expression and reports the
+// first grammar error, if any. The grammar is semicolon-separated clauses,
+// each either a tenant
+//
+//	name:rate=<req/s>[,prio=low|normal|high][,weight=<n>]
+//
+// or at most one flash-crowd burst
+//
+//	flash@<start>:x=<factor>[,for=<duration>]
+//
+// Example:
+//
+//	web:rate=60,prio=high;batch:rate=30,prio=low;flash@3s:x=6,for=2s
+func ValidateWorkloadSpec(spec string) error {
+	if spec == "" {
+		return nil // empty = the serving default tenant mix
+	}
+	_, err := serve.ParseWorkload(spec)
+	return err
+}
 
 // ValidateFaultSpec parses a fault-plan expression and reports the first
 // grammar error, if any. The grammar is semicolon-separated site clauses:
@@ -223,6 +266,7 @@ func NewSuite(cfg RunConfig) *Suite {
 	x.SetTrace(cfg.Trace)
 	x.SetMetrics(cfg.Metrics)
 	x.SetFleet(cfg.Fleet.Hosts, cfg.Fleet.Policy)
+	x.SetServe(cfg.Serve.Hosts, cfg.Serve.Policy, cfg.Serve.Tenants, cfg.Serve.Rate)
 	x.SetSnapshots(!cfg.DisableSnapshots)
 	s := &Suite{cfg: cfg, x: x}
 	if cfg.FaultSpec != "" {
@@ -283,7 +327,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	// the pooled run used cached boot snapshots, the serial re-run boots
 	// every host from scratch (and vice versa), so the byte comparison
 	// also pins snapshot transparency end-to-end.
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet, DisableSnapshots: !s.cfg.DisableSnapshots})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet, Serve: s.cfg.Serve, DisableSnapshots: !s.cfg.DisableSnapshots})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)

@@ -47,7 +47,7 @@ func TestExperimentSuiteComplete(t *testing.T) {
 		"fig15", "fig16a-d", "fig16e-h", "fig16i-l",
 		"abl-busscan", "abl-pagesize", "abl-scrubber", "abl-slotreset",
 		"future-vdpa", "bg-dataplane", "ext-arrivals", "chaos",
-		"contention", "recovery", "saturation", "fleet",
+		"contention", "recovery", "saturation", "fleet", "serving",
 	}
 	suite := Experiments()
 	if len(suite) != len(want) {

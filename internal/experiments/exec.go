@@ -43,6 +43,15 @@ type Exec struct {
 	// policy ("" sweeps all of them).
 	fleetHosts  int
 	fleetPolicy string
+	// serveHosts, servePolicy, serveTenants, and serveRate shape the serving
+	// experiment: fleet size (<= 0 selects the serve default), admission
+	// policy ("" sweeps all of them), canonical workload spec ("" selects
+	// the default tenant mix), and a pinned offered rate (<= 0 sweeps the
+	// offered-load ladder).
+	serveHosts   int
+	servePolicy  string
+	serveTenants string
+	serveRate    float64
 	// snapshots enables boot-prefix snapshot caching: the first scenario
 	// needing a given (boot inputs, seed) boots a host and captures a
 	// cluster.Snapshot into the singleflight cache under Scope "boot";
@@ -124,6 +133,18 @@ func (x *Exec) SetMetrics(v bool) { x.metrics = v }
 func (x *Exec) SetFleet(hosts int, policy string) {
 	x.fleetHosts = hosts
 	x.fleetPolicy = policy
+}
+
+// SetServe shapes the serving experiment: hosts sizes the fleet (<= 0 keeps
+// the serve default), policy restricts the sweep to one admission policy
+// ("" sweeps all of them), tenants overrides the workload spec ("" keeps
+// the default mix), and rate pins a single offered load (<= 0 sweeps the
+// ladder).
+func (x *Exec) SetServe(hosts int, policy, tenants string, rate float64) {
+	x.serveHosts = hosts
+	x.servePolicy = policy
+	x.serveTenants = tenants
+	x.serveRate = rate
 }
 
 // CacheStats aliases the pool's traffic counters so callers above the

@@ -113,6 +113,9 @@ func Registry() []Entry {
 		{"fleet", "Fleet placement: policy × baseline on a shared kernel", func(x *Exec, n int) (*Report, error) {
 			return x.Fleet(n)
 		}},
+		{"serving", "Admission-controlled serving under sustained overload", func(x *Exec, n int) (*Report, error) {
+			return x.Serving(n)
+		}},
 	}
 }
 

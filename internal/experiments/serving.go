@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/fault"
+	"fastiov/internal/harness"
+	"fastiov/internal/serve"
+	"fastiov/internal/stats"
+)
+
+// DefaultServeRates is the offered-load ladder the serving experiment
+// sweeps: under vanilla's ~35 req/s saturation point, at it, and 2×/4× past
+// it — the overload regime where admission policy decides the tail.
+var DefaultServeRates = []float64{16, 32, 64, 128}
+
+// servingFlashSpec is the flash-crowd clause appended to the default
+// workload for the burst rows: a 6× spike two-fifths into the window.
+const servingFlashSpec = ";flash@3s:x=6,for=2s"
+
+// ----------------------------------------------------------------------
+// Serving scenarios: one admission policy × baseline at one offered rate,
+// through the harness so seeds fan out, results cache, and
+// -verify-determinism double-runs every admission decision.
+
+// serveSpec identifies one independently schedulable serving run.
+type serveSpec struct {
+	Baseline string
+	Policy   string
+	Hosts    int
+	Rate     float64
+	// Workload is the canonical tenant spec ("" = serve default).
+	Workload string
+	// Faults pins this spec's fault plan; nil inherits the executor-wide
+	// plan (see startupSpec.Faults).
+	Faults *fault.Plan
+	// Trace and Metrics pin observability; nil inherits the executor-wide
+	// settings.
+	Trace   *bool
+	Metrics *bool
+}
+
+func (s serveSpec) traced() bool { return s.Trace != nil && *s.Trace }
+
+func (s serveSpec) metered() bool { return s.Metrics != nil && *s.Metrics }
+
+// params canonically encodes the spec for the cache key.
+func (s serveSpec) params() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "b=%s policy=%s hosts=%d rate=%g", s.Baseline, s.Policy, s.Hosts, s.Rate)
+	if s.Workload != "" {
+		fmt.Fprintf(&b, " w=%s", s.Workload)
+	}
+	if !s.Faults.Empty() {
+		fmt.Fprintf(&b, " faults=%s", s.Faults)
+	}
+	if s.traced() {
+		b.WriteString(" trace")
+	}
+	if s.metered() {
+		b.WriteString(" metrics")
+	}
+	return b.String()
+}
+
+// run executes the spec at one seed: a full serving window over an audited
+// fleet, failing loudly on any leak — shed requests included.
+func (s serveSpec) run(seed uint64) (*serve.Result, error) {
+	res, err := serve.Run(serve.Config{
+		Baseline: s.Baseline,
+		Policy:   s.Policy,
+		Hosts:    s.Hosts,
+		Workload: s.Workload,
+		Rate:     s.Rate,
+		Seed:     seed,
+		Faults:   s.Faults,
+		Trace:    s.traced(),
+		Metrics:  s.metered(),
+		Audit:    true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s rate=%g: %w", s.Baseline, s.Policy, s.Rate, err)
+	}
+	// Standing invariant: request conservation at drain and clean leak
+	// audits, per host and fleet-wide, however much the policy shed.
+	if res.Arrived != res.Admitted+res.Shed() {
+		return nil, fmt.Errorf("%s/%s rate=%g: conservation broken: arrived %d != admitted %d + shed %d",
+			s.Baseline, s.Policy, s.Rate, res.Arrived, res.Admitted, res.Shed())
+	}
+	if !res.Fleet.CleanPerHost() {
+		for i, rep := range res.Fleet.PerHost {
+			if !rep.Clean() {
+				return nil, fmt.Errorf("%s/%s rate=%g: host %d dirty leak audit:\n%s",
+					s.Baseline, s.Policy, s.Rate, i, rep)
+			}
+		}
+	}
+	if !res.Fleet.Leaks.Clean() {
+		return nil, fmt.Errorf("%s/%s rate=%g: fleet-wide dirty leak audit:\n%s",
+			s.Baseline, s.Policy, s.Rate, res.Fleet.Leaks)
+	}
+	return res, nil
+}
+
+// fingerprintServe canonically serializes a serving run for determinism
+// verification: the admission accounting, per-tenant tallies, every sojourn,
+// and the fleet fingerprint beneath (placements, audits, observer digests).
+func fingerprintServe(v any) ([]byte, error) {
+	res, ok := v.(*serve.Result)
+	if !ok {
+		return nil, fmt.Errorf("experiments: fingerprinting %T, want *serve.Result", v)
+	}
+	return res.Fingerprint(), nil
+}
+
+// MultiServe is one serving scenario's outcome across the executor's seeds.
+type MultiServe struct {
+	perSeed []*serve.Result
+}
+
+// Primary returns the first seed's full result.
+func (m *MultiServe) Primary() *serve.Result { return m.perSeed[0] }
+
+// Metric aggregates f over every seed's result.
+func (m *MultiServe) Metric(f func(*serve.Result) time.Duration) stats.Estimate {
+	return stats.EstimateMetric(m.perSeed, f)
+}
+
+// serves fans the specs across the pool at every seed.
+func (x *Exec) serves(specs []serveSpec) ([]*MultiServe, error) {
+	jobs := make([]harness.Job, 0, len(specs)*len(x.seeds))
+	for _, sp := range specs {
+		sp := sp
+		if sp.Faults == nil {
+			sp.Faults = x.faults
+		}
+		if sp.Trace == nil {
+			tv := x.trace
+			sp.Trace = &tv
+		}
+		if sp.Metrics == nil {
+			mv := x.metrics
+			sp.Metrics = &mv
+		}
+		for _, seed := range x.seeds {
+			seed := seed
+			jobs = append(jobs, harness.Job{
+				Key:         harness.Key{Scope: "serve", Params: sp.params(), Seed: seed},
+				Fn:          func() (any, error) { return sp.run(seed) },
+				Fingerprint: fingerprintServe,
+			})
+		}
+	}
+	vals, err := x.pool.Do(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*MultiServe, len(specs))
+	k := 0
+	for i := range specs {
+		m := &MultiServe{}
+		for range x.seeds {
+			m.perSeed = append(m.perSeed, vals[k].(*serve.Result))
+			k++
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Serving sweeps admission policy × baseline across an offered-load ladder.
+// See the executor method.
+func Serving(n int) (*Report, error) { return defaultExec().Serving(n) }
+
+// Serving on an executor: the admission-control study. An open-loop
+// multi-tenant arrival process feeds pod-start requests through the serving
+// control plane at rates from under vanilla's saturation point to 4× past
+// it. The headline is the cliff and the recovery: the no-admission baseline
+// (fifo) lets the queue — and the admitted p99 — grow without bound as
+// offered load passes capacity, while SLO-aware shedding holds p99 near its
+// target by trading goodput, and per-tenant token buckets cap each tenant at
+// its contracted share. A flash-crowd row stresses the extreme policies with
+// a 6× burst mid-window.
+func (x *Exec) Serving(n int) (*Report, error) {
+	hosts := x.serveHosts
+	if hosts <= 0 {
+		hosts = serve.DefaultHosts
+	}
+	workload := x.serveTenants
+	if workload != "" {
+		if _, err := serve.ParseWorkload(workload); err != nil {
+			return nil, err
+		}
+	}
+	policies := serve.Policies()
+	if x.servePolicy != "" {
+		found := false
+		for _, p := range policies {
+			if p == x.servePolicy {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("experiments: unknown admission policy %q (want %v)", x.servePolicy, serve.Policies())
+		}
+		policies = []string{x.servePolicy}
+	}
+	rates := append([]float64(nil), DefaultServeRates...)
+	switch {
+	case x.serveRate > 0:
+		// An explicit -rate pins a single offered load.
+		rates = []float64{x.serveRate}
+	case n > 0:
+		// A concurrency override marks a below-paper-scale run (the defConc
+		// convention): a short ladder ending at the override.
+		rates = []float64{float64(n) / 2, float64(n)}
+		if rates[0] < 1 {
+			rates = rates[1:]
+		}
+	}
+	baselines := []string{cluster.BaselineVanilla, cluster.BaselineFastIOV}
+
+	var specs []serveSpec
+	for _, p := range policies {
+		for _, b := range baselines {
+			for _, r := range rates {
+				specs = append(specs, serveSpec{Baseline: b, Policy: p, Hosts: hosts, Rate: r, Workload: workload})
+			}
+		}
+	}
+	// Flash-crowd rows: the extreme policies under a 6× mid-window burst at
+	// the ladder's midpoint rate, on the collapse-prone baseline. Only when
+	// the workload is the default — a custom tenant spec keeps its grammar.
+	flashAt := rates[len(rates)/2]
+	flashPolicies := []string{serve.PolicyFIFO, serve.PolicySLOAware}
+	if x.servePolicy != "" {
+		flashPolicies = []string{x.servePolicy}
+	}
+	flashStart := len(specs)
+	if workload == "" {
+		for _, p := range flashPolicies {
+			specs = append(specs, serveSpec{
+				Baseline: cluster.BaselineVanilla, Policy: p, Hosts: hosts, Rate: flashAt,
+				Workload: serve.DefaultWorkloadSpec + servingFlashSpec,
+			})
+		}
+	}
+
+	rs, err := x.serves(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{ID: "serving", Title: fmt.Sprintf(
+		"Admission-controlled serving: policy × baseline across offered load (%d hosts, %s window, SLO %s)",
+		hosts, serve.DefaultWindow, serve.DefaultSLO)}
+	t := stats.NewTable("baseline", "policy", "rate", "arrived", "shed%", "goodput", "p50", "p99", "p99.9", "fair")
+	// p99 by (baseline, policy, rate) for the notes.
+	type key struct {
+		b, p string
+		r    float64
+	}
+	p99s := map[key]time.Duration{}
+	sheds := map[key]float64{}
+	goods := map[key]float64{}
+	for i, sp := range specs {
+		m := rs[i]
+		pri := m.Primary()
+		rateLabel := fmt.Sprintf("%g", sp.Rate)
+		if i >= flashStart {
+			rateLabel += "+flash"
+		}
+		t.AddRow(sp.Baseline, sp.Policy, rateLabel,
+			pri.Arrived,
+			fmt.Sprintf("%.1f", 100*pri.ShedRate()),
+			pri.Goodput(),
+			m.Metric(func(r *serve.Result) time.Duration { return r.Sojourns.P50() }),
+			m.Metric(func(r *serve.Result) time.Duration { return r.Sojourns.P99() }),
+			m.Metric(func(r *serve.Result) time.Duration { return r.Sojourns.P999() }),
+			fmt.Sprintf("%.3f", pri.Fairness()))
+		if i < flashStart {
+			k := key{sp.Baseline, sp.Policy, sp.Rate}
+			p99s[k] = m.Metric(func(r *serve.Result) time.Duration { return r.Sojourns.P99() }).Mean
+			sheds[k] = pri.ShedRate()
+			goods[k] = pri.Goodput()
+		}
+	}
+	rep.Table = t
+
+	// Headline notes need both extreme policies on vanilla at the ladder's
+	// endpoints.
+	lo, hi := rates[0], rates[len(rates)-1]
+	van := cluster.BaselineVanilla
+	fifoLo, okA := p99s[key{van, serve.PolicyFIFO, lo}]
+	fifoHi, okB := p99s[key{van, serve.PolicyFIFO, hi}]
+	if okA && okB && fifoHi > fifoLo {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"no admission control, no bound: vanilla/fifo p99 sojourn grows %v → %v (%.1f×) as offered load rises %g → %g req/s — the queue absorbs every arrival and the tail pays",
+			fifoLo.Round(time.Millisecond), fifoHi.Round(time.Millisecond),
+			float64(fifoHi)/float64(fifoLo), lo, hi))
+	}
+	if sloHi, ok := p99s[key{van, serve.PolicySLOAware, hi}]; ok {
+		k := key{van, serve.PolicySLOAware, hi}
+		note := fmt.Sprintf(
+			"SLO-aware shedding holds the tail at %g req/s offered: p99 %v against the %s target by shedding %.0f%% of arrivals (goodput %.1f/s",
+			hi, sloHi.Round(time.Millisecond), serve.DefaultSLO, 100*sheds[k], goods[k])
+		if _, ran := p99s[key{van, serve.PolicyFIFO, hi}]; ran {
+			note += fmt.Sprintf(" vs fifo's %.1f/s at the same load", goods[key{van, serve.PolicyFIFO, hi}])
+		}
+		rep.Notes = append(rep.Notes, note+")")
+	}
+	seedNote(rep, x, "serving table")
+	return rep, nil
+}

@@ -57,6 +57,14 @@ type Module struct {
 	// "notify KVM upon completion" handshake of §5.
 	inflight map[int64]*sim.Event
 
+	// released records pids whose tables Release dropped. A zeroing claim
+	// unwound after the owner's teardown must not resurrect the table: the
+	// pages have returned to the allocator and are re-zeroed for their next
+	// owner, so restoring the claim would strand a tracked entry forever
+	// (the pid-churn regime, where VMs retire while the scrubber is
+	// mid-zero). Registering for the pid again reclaims ownership.
+	released map[int]bool
+
 	// RegisterCostPerPage models the bookkeeping insert per deferred page.
 	RegisterCostPerPage time.Duration
 
@@ -86,6 +94,7 @@ func New(k *sim.Kernel, mem *hostmem.Allocator) *Module {
 		mem:                 mem,
 		tables:              make(map[int]map[int64]pageInfo),
 		inflight:            make(map[int64]*sim.Event),
+		released:            make(map[int]bool),
 		RegisterCostPerPage: 120 * time.Nanosecond,
 	}
 }
@@ -94,6 +103,7 @@ func New(k *sim.Kernel, mem *hostmem.Allocator) *Module {
 // This replaces eager zeroing in the VFIO DMA-map path; it is the hook
 // passed to vfio.MapDMA.
 func (m *Module) Register(p *sim.Proc, pid int, region *hostmem.Region) {
+	delete(m.released, pid)
 	t := m.tables[pid]
 	if t == nil {
 		t = make(map[int64]pageInfo)
@@ -158,7 +168,12 @@ func (m *Module) claimAndZero(p *sim.Proc, pid int, hpaPage int64) {
 			ev.Fire(p)
 			return
 		}
-		// Unwound mid-zero: restore the claim.
+		// Unwound mid-zero: restore the claim — unless the owner was torn
+		// down in the meantime. A released pid's pages are back in the
+		// allocator; re-tracking them would strand a table entry forever.
+		if m.released[pid] {
+			return
+		}
 		tt := m.tables[pid]
 		if tt == nil {
 			tt = make(map[int64]pageInfo)
@@ -197,8 +212,13 @@ func (m *Module) TrackedTotal() int {
 func (m *Module) ScrubQueueLen() int { return len(m.scrubQueue) }
 
 // Release drops pid's table without zeroing (VM teardown: the pages return
-// to the allocator dirty and are re-zeroed for their next owner).
-func (m *Module) Release(pid int) { delete(m.tables, pid) }
+// to the allocator dirty and are re-zeroed for their next owner). The pid is
+// marked released so an in-flight zeroing claim unwound later does not
+// resurrect the table.
+func (m *Module) Release(pid int) {
+	delete(m.tables, pid)
+	m.released[pid] = true
+}
 
 // StartScrubber launches the module's background thread (§5): it
 // periodically sweeps the two-tier table, zeroing up to pagesPerPass pages

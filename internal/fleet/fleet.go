@@ -108,6 +108,13 @@ type Config struct {
 	// conservation per host and fleet-wide (audit.Sum). Runs after all
 	// measurement, consumes no randomness.
 	Audit bool
+	// RegisterMetrics, when Metrics is set, is invoked on the fleet's sampled
+	// registry after the fleet instruments are registered and before the
+	// sampler daemon starts — instruments registered later would misalign
+	// with the sampled series. The serving control plane uses it to add its
+	// admission-queue instruments so their series share the fleet's tick
+	// grid. The hook must only register read-only instruments.
+	RegisterMetrics func(*metrics.Registry)
 }
 
 // withDefaults normalizes optional fields.
@@ -140,11 +147,18 @@ type Fleet struct {
 	membw   []*metrics.ResourceWatch
 	queues  []*metrics.QueueWatch
 
-	// Placement bookkeeping, maintained by Run's placement procs.
+	// Placement bookkeeping, maintained by Dispatch.
 	inflight   []int
 	placements []int
 	totalInflight, started, failed, rejected int
 	startupHist *metrics.Histogram
+
+	// Measurement accumulators, maintained by Dispatch and drained by
+	// Finish: per-start latencies, surviving sandboxes per host (for the
+	// closing audit), and genuine (non-fault) errors.
+	totals *stats.Sample
+	live   [][]*cri.Sandbox
+	errs   []error
 }
 
 // New boots the fleet: one shared kernel, the optional tracer first (so its
@@ -164,7 +178,7 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 
-	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed)}
+	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed), totals: stats.NewSample()}
 	if cfg.Trace {
 		f.Tracer = trace.Attach(f.K)
 	}
@@ -177,6 +191,7 @@ func New(cfg Config) (*Fleet, error) {
 	f.queues = make([]*metrics.QueueWatch, n)
 	f.inflight = make([]int, n)
 	f.placements = make([]int, n)
+	f.live = make([][]*cri.Sandbox, n)
 	for i, spec := range cfg.HostSpecs {
 		scope := Scope(i)
 		f.membw[i] = f.signals.WatchResource(scope + hostmem.MemBWName)
@@ -202,6 +217,9 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Metrics {
 		f.Metrics = metrics.New(cfg.MetricsCadence)
 		f.attachMetrics()
+		if cfg.RegisterMetrics != nil {
+			cfg.RegisterMetrics(f.Metrics)
+		}
 		f.K.ChainProbe(f.Metrics.Observer())
 		f.Metrics.Start(f.K)
 	}
@@ -260,6 +278,42 @@ func (f *Fleet) States() []HostState {
 		}
 	}
 	return out
+}
+
+// Inflight returns the number of container starts currently in progress
+// fleet-wide. Pure observation, like States.
+func (f *Fleet) Inflight() int { return f.totalInflight }
+
+// FreeVFHeadroom sums each host's positive placement headroom (free VFs
+// minus committed work, see HostState.Headroom) — the fleet's remaining
+// admission capacity in VF terms. Zero means no host is eligible right now.
+func (f *Fleet) FreeVFHeadroom() int {
+	total := 0
+	for _, st := range f.States() {
+		if h := st.Headroom(); h > 0 {
+			total += h
+		}
+	}
+	return total
+}
+
+// DevsetWaiters sums the current vfio devset lock queue depth across hosts —
+// the paper's §3.2 serialization signal, fleet-wide.
+func (f *Fleet) DevsetWaiters() int {
+	total := 0
+	for _, q := range f.queues {
+		total += q.Depth()
+	}
+	return total
+}
+
+// MembwBusyTotal sums every host's zeroing-bandwidth busy integral so far.
+func (f *Fleet) MembwBusyTotal() time.Duration {
+	var total time.Duration
+	for _, w := range f.membw {
+		total += w.Busy()
+	}
+	return total
 }
 
 // Result carries one fleet run's outcome.
@@ -388,13 +442,92 @@ func (r *Result) Fingerprint() []byte {
 	return b
 }
 
+// Dispatch places one container start onto the fleet at the current
+// instant: it snapshots every host's state, asks the policy for a
+// placement, and — when a host is in capacity — runs the full startup
+// there, maintaining the in-flight counts, placement tallies, the
+// fleet-wide latency sample, and the surviving-sandbox list the closing
+// audit tears down. host is -1 when the policy found no eligible host (no
+// state changed, err nil); otherwise took is the end-to-end startup time
+// and err the startup outcome (fault failures are counted on the fleet,
+// genuine errors recorded and surfaced from Finish). Dispatch is the hook
+// the serving control plane drives; Run places every request through it.
+func (f *Fleet) Dispatch(p *sim.Proc, id int) (host int, sb *cri.Sandbox, took time.Duration, err error) {
+	pick := f.Sched.Place(f.States())
+	if pick < 0 || pick >= len(f.Hosts) {
+		return -1, nil, 0, nil
+	}
+	f.started++
+	f.placements[pick]++
+	f.inflight[pick]++
+	f.totalInflight++
+	began := p.Now()
+	sb, err = f.Hosts[pick].StartOne(p, id)
+	f.inflight[pick]--
+	f.totalInflight--
+	if err != nil {
+		if fault.IsFault(err) {
+			f.failed++
+		} else {
+			f.errs = append(f.errs, err)
+		}
+		return pick, nil, 0, err
+	}
+	took = time.Duration(p.Now() - began)
+	f.totals.Add(took)
+	if f.startupHist != nil {
+		f.startupHist.Observe(took.Seconds())
+	}
+	f.live[pick] = append(f.live[pick], sb)
+	return pick, sb, took, nil
+}
+
+// Release stops a sandbox started through Dispatch before the closing
+// audit, modeling pod churn: the serving control plane retires each pod
+// after its lifetime, returning its VF, pages, and mappings to the host
+// mid-run (the live-host attach/detach regime). The sandbox leaves the
+// surviving list, so the closing audit only tears down pods still live at
+// the end; stop errors are recorded and surface from Finish.
+func (f *Fleet) Release(p *sim.Proc, host int, sb *cri.Sandbox) {
+	sbs := f.live[host]
+	for i, s := range sbs {
+		if s == sb {
+			f.live[host] = append(sbs[:i], sbs[i+1:]...)
+			break
+		}
+	}
+	if err := f.Hosts[host].Eng.StopPodSandbox(p, sb); err != nil {
+		f.errs = append(f.errs, err)
+	}
+}
+
 // Run places Cfg.Requests container starts across the fleet and runs the
 // shared kernel to quiescence. Each request is one proc: at its arrival
-// instant it snapshots every host's state, asks the policy for a placement,
-// and runs the start on the chosen host (or counts a rejection). After
-// measurement the optional audit stops every surviving sandbox and checks
-// conservation per host and fleet-wide.
+// instant it dispatches through the scheduler (or counts a rejection when
+// no host is in capacity), then Finish seals observers and audits.
 func (f *Fleet) Run() *Result {
+	cfg := f.Cfg
+	arrivals := cfg.Arrival.Times(f.K.Rand(), cfg.Requests, cfg.StartJitter)
+	for i := 0; i < cfg.Requests; i++ {
+		id := i
+		at := f.K.Now() + arrivals[i]
+		f.K.GoAt(at, fmt.Sprintf("ctr-%d", id), func(p *sim.Proc) {
+			if host, _, _, _ := f.Dispatch(p, id); host < 0 {
+				f.rejected++
+			}
+		})
+	}
+	f.K.Run()
+	return f.Finish()
+}
+
+// Finish seals the run after the kernel has quiesced: it seals the sampled
+// registry, snapshots the counters and per-host signals, verifies per-host
+// critical paths on traced runs, and — when auditing — stops every
+// surviving sandbox and diffs conservation counters per host and
+// fleet-wide. Callers driving Dispatch directly (the serving control
+// plane) call it once after their own kernel run.
+func (f *Fleet) Finish() *Result {
 	cfg := f.Cfg
 	res := &Result{
 		Baseline: cfg.Baseline,
@@ -402,45 +535,9 @@ func (f *Fleet) Run() *Result {
 		Hosts:    len(f.Hosts),
 		Requests: cfg.Requests,
 	}
-	totals := stats.NewSample()
-	live := make([][]*cri.Sandbox, len(f.Hosts))
-	var errs []error
-
-	arrivals := cfg.Arrival.Times(f.K.Rand(), cfg.Requests, cfg.StartJitter)
-	for i := 0; i < cfg.Requests; i++ {
-		id := i
-		at := f.K.Now() + arrivals[i]
-		f.K.GoAt(at, fmt.Sprintf("ctr-%d", id), func(p *sim.Proc) {
-			pick := f.Sched.Place(f.States())
-			if pick < 0 || pick >= len(f.Hosts) {
-				f.rejected++
-				return
-			}
-			f.started++
-			f.placements[pick]++
-			f.inflight[pick]++
-			f.totalInflight++
-			began := p.Now()
-			sb, err := f.Hosts[pick].StartOne(p, id)
-			f.inflight[pick]--
-			f.totalInflight--
-			if err != nil {
-				if fault.IsFault(err) {
-					f.failed++
-				} else {
-					errs = append(errs, err)
-				}
-				return
-			}
-			took := time.Duration(p.Now() - began)
-			totals.Add(took)
-			if f.startupHist != nil {
-				f.startupHist.Observe(took.Seconds())
-			}
-			live[pick] = append(live[pick], sb)
-		})
-	}
-	f.K.Run()
+	totals := f.totals
+	live := f.live
+	errs := f.errs
 
 	if f.Metrics != nil {
 		f.Metrics.Seal(f.K.Now())

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Admission policy names.
+const (
+	// PolicyFIFO is the no-admission baseline: every request queues, nothing
+	// sheds, and under sustained overload the queue — and the admitted p99 —
+	// grow without bound.
+	PolicyFIFO = "fifo"
+	// PolicyTokenBucket rate-limits each tenant to its weighted share of the
+	// fleet's contracted capacity, with a burst allowance.
+	PolicyTokenBucket = "token-bucket"
+	// PolicySLOAware sheds by predicted sojourn: it estimates queue wait from
+	// the live completion rate plus the fleet's saturation signals (free-VF
+	// headroom, devset waiters) and rejects requests whose priority-scaled
+	// latency budget the estimate already blows; queued requests are
+	// re-checked at dispatch and shed mid-queue once their budget is spent.
+	PolicySLOAware = "slo-aware"
+)
+
+// Policies lists the admission policies in presentation order.
+func Policies() []string { return []string{PolicyFIFO, PolicyTokenBucket, PolicySLOAware} }
+
+// View is the read-only control-plane snapshot a policy decides on: current
+// queue state, live fleet saturation signals, and the completion history.
+// Building one costs no simulated time and no randomness.
+type View struct {
+	// Now is the current simulated instant; Elapsed the time since serving
+	// started.
+	Now, Elapsed time.Duration
+	// QueueDepth counts requests admitted to the queue but not yet
+	// dispatched; Inflight counts starts in progress on the fleet.
+	QueueDepth, Inflight int
+	// FreeVFHeadroom, DevsetWaiters, and MembwBusy are the fleet's live
+	// saturation signals (fleet.FreeVFHeadroom etc.).
+	FreeVFHeadroom, DevsetWaiters int
+	MembwBusy                     time.Duration
+	// Completed counts finished startups so far; StartupEWMA is their
+	// smoothed end-to-end startup time.
+	Completed   int
+	StartupEWMA time.Duration
+	// SLO is the configured sojourn target.
+	SLO time.Duration
+}
+
+// Policy decides a request's fate at two instants: arrival (Admit) and
+// dispatch (Revalidate — false sheds the request mid-queue). Policies are
+// deterministic: same request, same view, same answer.
+type Policy interface {
+	Name() string
+	Admit(r *Request, v View) bool
+	Revalidate(r *Request, v View) bool
+}
+
+// PolicyConfig parameterizes NewPolicy.
+type PolicyConfig struct {
+	// SLO is the sojourn target the SLO-aware policy defends.
+	SLO time.Duration
+	// ContractRate is the fleet-wide contracted capacity in requests per
+	// second, split across tenants by weight (token-bucket).
+	ContractRate float64
+	// Burst is each tenant's bucket capacity in tokens (minimum 1).
+	Burst float64
+	// Tenants lists the workload's tenants in canonical order.
+	Tenants []Tenant
+}
+
+// NewPolicy builds the named admission policy.
+func NewPolicy(name string, cfg PolicyConfig) (Policy, error) {
+	switch name {
+	case PolicyFIFO:
+		return fifoPolicy{}, nil
+	case PolicyTokenBucket:
+		return newTokenBucket(cfg), nil
+	case PolicySLOAware:
+		return &sloAware{slo: cfg.SLO}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown admission policy %q (want %v)", name, Policies())
+}
+
+// fifoPolicy admits everything and never sheds: the no-admission baseline.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string                   { return PolicyFIFO }
+func (fifoPolicy) Admit(*Request, View) bool      { return true }
+func (fifoPolicy) Revalidate(*Request, View) bool { return true }
+
+// bucket is one tenant's token bucket: tokens refill continuously at rate
+// per second up to burst, and each admission costs one token. Refill is
+// computed lazily from the last-touched instant, so two arrivals at the
+// same simulated instant see the same fill level and drain it token by
+// token — the equal-sim-time edge case the tests pin.
+type bucket struct {
+	tokens float64
+	last   time.Duration
+	rate   float64
+	burst  float64
+}
+
+func (b *bucket) take(now time.Duration) bool {
+	if now > b.last {
+		b.tokens += b.rate * (now - b.last).Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// tokenBucket holds one bucket per tenant, sized by weight share of the
+// contracted rate. Buckets start full.
+type tokenBucket struct {
+	buckets map[string]*bucket
+}
+
+func newTokenBucket(cfg PolicyConfig) *tokenBucket {
+	burst := cfg.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	weightSum := 0
+	for _, t := range cfg.Tenants {
+		weightSum += t.Weight
+	}
+	tb := &tokenBucket{buckets: make(map[string]*bucket, len(cfg.Tenants))}
+	for _, t := range cfg.Tenants {
+		rate := 0.0
+		if weightSum > 0 {
+			rate = cfg.ContractRate * float64(t.Weight) / float64(weightSum)
+		}
+		tb.buckets[t.Name] = &bucket{tokens: burst, rate: rate, burst: burst}
+	}
+	return tb
+}
+
+func (tb *tokenBucket) Name() string { return PolicyTokenBucket }
+
+func (tb *tokenBucket) Admit(r *Request, v View) bool {
+	b := tb.buckets[r.Tenant]
+	if b == nil {
+		return false
+	}
+	return b.take(v.Now)
+}
+
+func (tb *tokenBucket) Revalidate(*Request, View) bool { return true }
+
+// sloAware estimates each request's sojourn and sheds the ones whose
+// priority-scaled budget is already spent — at arrival from the predicted
+// queue wait, and again at dispatch from the actually elapsed wait.
+type sloAware struct {
+	slo time.Duration
+}
+
+func (s *sloAware) Name() string { return PolicySLOAware }
+
+// budget is the priority-scaled sojourn target: high-priority requests may
+// spend 85% of the SLO (the margin absorbs estimation error, keeping the
+// realized p99 inside the SLO), normal 60%, low 40% — under pressure the
+// classes shed in that order.
+func (s *sloAware) budget(p Priority) time.Duration {
+	switch p {
+	case PrioHigh:
+		return s.slo * 4 / 5
+	case PrioLow:
+		return s.slo * 2 / 5
+	}
+	return s.slo * 3 / 5
+}
+
+// estWait predicts the queue wait ahead of a new arrival: queue depth over
+// the observed completion rate (Little's-law style), sharpened by the live
+// saturation signals — zero free-VF headroom means dispatch itself will
+// stall, and each devset waiter is serialized work already committed.
+func (s *sloAware) estWait(v View) time.Duration {
+	if v.Completed == 0 || v.Elapsed <= 0 {
+		// Cold start: no completion history yet, nothing to predict from.
+		return 0
+	}
+	rate := float64(v.Completed) / v.Elapsed.Seconds()
+	wait := time.Duration(float64(v.QueueDepth+1) / rate * float64(time.Second))
+	if v.FreeVFHeadroom <= 0 {
+		wait += s.slo / 4
+	}
+	wait += time.Duration(v.DevsetWaiters) * 20 * time.Millisecond
+	return wait
+}
+
+func (s *sloAware) Admit(r *Request, v View) bool {
+	return s.estWait(v)+v.StartupEWMA <= s.budget(r.Priority)
+}
+
+func (s *sloAware) Revalidate(r *Request, v View) bool {
+	waited := v.Elapsed - r.At // time spent queued since the arrival instant
+	return waited+v.StartupEWMA <= s.budget(r.Priority)
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewPolicyNames(t *testing.T) {
+	cfg := PolicyConfig{SLO: time.Second, ContractRate: 10, Burst: 2,
+		Tenants: []Tenant{{Name: "api", Rate: 10, Weight: 1}}}
+	for _, name := range Policies() {
+		p, err := NewPolicy(name, cfg)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("bogus", cfg); err == nil || !strings.Contains(err.Error(), "unknown admission policy") {
+		t.Errorf("NewPolicy(bogus) error = %v", err)
+	}
+}
+
+func TestFIFOAdmitsEverything(t *testing.T) {
+	p, _ := NewPolicy(PolicyFIFO, PolicyConfig{})
+	r := &Request{Tenant: "api"}
+	v := View{QueueDepth: 1 << 20, FreeVFHeadroom: 0, Completed: 1, Elapsed: time.Second}
+	if !p.Admit(r, v) || !p.Revalidate(r, v) {
+		t.Error("fifo must admit and revalidate everything")
+	}
+}
+
+// tbPolicy builds a token bucket with one tenant at the given rate and burst.
+func tbPolicy(t *testing.T, rate, burst float64) Policy {
+	t.Helper()
+	p, err := NewPolicy(PolicyTokenBucket, PolicyConfig{
+		ContractRate: rate, Burst: burst,
+		Tenants: []Tenant{{Name: "api", Rate: rate, Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTokenBucketZeroRate(t *testing.T) {
+	// Zero contracted rate: the bucket never refills, so exactly the initial
+	// burst is admitted and nothing more, however long the gap.
+	p := tbPolicy(t, 0, 3)
+	r := &Request{Tenant: "api"}
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if p.Admit(r, View{Now: time.Duration(i) * time.Hour}) {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Errorf("zero-rate bucket admitted %d, want burst=3", admitted)
+	}
+}
+
+func TestTokenBucketBurstOne(t *testing.T) {
+	// burst=1 at 1 token/s: strict pacing — a request right after an
+	// admission sheds; one a full second later is admitted.
+	p := tbPolicy(t, 1, 1)
+	r := &Request{Tenant: "api"}
+	if !p.Admit(r, View{Now: 0}) {
+		t.Fatal("first request must drain the full bucket")
+	}
+	if p.Admit(r, View{Now: time.Millisecond}) {
+		t.Error("1ms later: bucket refilled only 0.001 tokens, must shed")
+	}
+	if !p.Admit(r, View{Now: 1001 * time.Millisecond}) {
+		t.Error("after a full refill interval the bucket must admit")
+	}
+	// Burst below 1 is clamped to 1 so a bucket can ever admit.
+	p2 := tbPolicy(t, 1, 0.25)
+	if !p2.Admit(r, View{Now: 0}) {
+		t.Error("burst clamps to minimum 1: first request must admit")
+	}
+}
+
+func TestTokenBucketEqualSimTimeArrivals(t *testing.T) {
+	// Simultaneous arrivals at the same simulated instant see one shared
+	// fill level and drain it token by token: exactly burst admissions.
+	p := tbPolicy(t, 100, 4)
+	r := &Request{Tenant: "api"}
+	at := 500 * time.Millisecond
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if p.Admit(r, View{Now: at}) {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Errorf("equal-sim-time burst admitted %d, want burst=4", admitted)
+	}
+	// The refill clock must not have advanced past `at`: tokens accrued
+	// since then are honored on the next distinct instant.
+	if !p.Admit(r, View{Now: at + 20*time.Millisecond}) {
+		t.Error("2 tokens accrue over 20ms at 100/s; next arrival must admit")
+	}
+}
+
+func TestTokenBucketWeightShares(t *testing.T) {
+	p, err := NewPolicy(PolicyTokenBucket, PolicyConfig{
+		ContractRate: 30, Burst: 1,
+		Tenants: []Tenant{
+			{Name: "big", Rate: 10, Weight: 2},
+			{Name: "small", Rate: 10, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// big refills at 20/s, small at 10/s: 60ms after draining, big has
+	// 1.2 tokens, small only 0.6.
+	for _, name := range []string{"big", "small"} {
+		if !p.Admit(&Request{Tenant: name}, View{Now: 0}) {
+			t.Fatalf("tenant %s initial burst must admit", name)
+		}
+	}
+	at := 60 * time.Millisecond
+	if !p.Admit(&Request{Tenant: "big"}, View{Now: at}) {
+		t.Error("weight-2 tenant must refill to a token in 60ms at 30/s contract")
+	}
+	if p.Admit(&Request{Tenant: "small"}, View{Now: at}) {
+		t.Error("weight-1 tenant must not have a full token yet")
+	}
+	// Unknown tenants are rejected outright.
+	if p.Admit(&Request{Tenant: "ghost"}, View{Now: at}) {
+		t.Error("unknown tenant admitted")
+	}
+	// Token bucket never sheds mid-queue.
+	if !p.Revalidate(&Request{Tenant: "small"}, View{Now: at}) {
+		t.Error("token bucket must not revoke queued requests")
+	}
+}
+
+func TestSLOAwareColdStartAdmits(t *testing.T) {
+	p, _ := NewPolicy(PolicySLOAware, PolicyConfig{SLO: 2 * time.Second})
+	// No completion history: nothing to predict from, admit.
+	v := View{QueueDepth: 50, Completed: 0, Elapsed: time.Second}
+	if !p.Admit(&Request{Priority: PrioLow}, v) {
+		t.Error("cold start must admit (no completion history)")
+	}
+}
+
+func TestSLOAwarePriorityOrder(t *testing.T) {
+	p, _ := NewPolicy(PolicySLOAware, PolicyConfig{SLO: 2 * time.Second})
+	// 10 completions over 10s = 1/s; queue depth 0 => estWait ~1s. That fits
+	// high's 1.7s budget but blows low's 0.8s.
+	v := View{QueueDepth: 0, Completed: 10, Elapsed: 10 * time.Second, FreeVFHeadroom: 5}
+	if !p.Admit(&Request{Priority: PrioHigh}, v) {
+		t.Error("high priority must fit its budget at 1s predicted wait")
+	}
+	if p.Admit(&Request{Priority: PrioLow}, v) {
+		t.Error("low priority must shed first under pressure")
+	}
+}
+
+func TestSLOAwareSignalsSharpenEstimate(t *testing.T) {
+	p := &sloAware{slo: 2 * time.Second}
+	base := View{QueueDepth: 0, Completed: 10, Elapsed: 10 * time.Second, FreeVFHeadroom: 5}
+	w0 := p.estWait(base)
+	noVF := base
+	noVF.FreeVFHeadroom = 0
+	if got := p.estWait(noVF); got != w0+p.slo/4 {
+		t.Errorf("zero VF headroom: estWait = %v, want %v", got, w0+p.slo/4)
+	}
+	waiters := base
+	waiters.DevsetWaiters = 10
+	if got := p.estWait(waiters); got != w0+200*time.Millisecond {
+		t.Errorf("10 devset waiters: estWait = %v, want %v", got, w0+200*time.Millisecond)
+	}
+}
+
+func TestSLOAwareRevalidateShedsStaleRequests(t *testing.T) {
+	p, _ := NewPolicy(PolicySLOAware, PolicyConfig{SLO: 2 * time.Second})
+	r := &Request{Priority: PrioHigh, At: time.Second}
+	// Dispatched 500ms after arrival: inside the 1.7s high budget.
+	fresh := View{Elapsed: 1500 * time.Millisecond}
+	if !p.Revalidate(r, fresh) {
+		t.Error("request 500ms into its budget must survive revalidation")
+	}
+	// Dispatched 1.8s after arrival: budget already spent, shed mid-queue.
+	stale := View{Elapsed: 2800 * time.Millisecond}
+	if p.Revalidate(r, stale) {
+		t.Error("request past its budget must shed at dispatch")
+	}
+}

@@ -1,0 +1,56 @@
+package serve
+
+import "testing"
+
+// FuzzParseWorkload drives the tenant/priority/rate grammar with arbitrary
+// input, mirroring fault.FuzzParsePlan: the parser must never panic, must
+// never return both a workload and an error, and every accepted spec must
+// round-trip through the canonical rendering to a fixed point.
+func FuzzParseWorkload(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"api:rate=10",
+		DefaultWorkloadSpec,
+		"web:rate=60,prio=high;batch:rate=30,prio=low,weight=2",
+		"a:rate=0.5;b:rate=1e-05",
+		"api:rate=10;flash@3s:x=6,for=2s",
+		"api:rate=10;flash@90s:x=1.5",
+		"api:rate=0",
+		"api:rate=NaN",
+		"api:rate=-1",
+		"api:rate=10,weight=0",
+		"api:rate=10,prio=urgent",
+		"api:rate=10;api:rate=20",
+		"flash@1s:x=2",
+		"api:rate=10;flash@1s:for=2s",
+		"api:rate=10;flash@1s:x=2;flash@2s:x=3",
+		";;;",
+		"api:",
+		":rate=10",
+		"api:rate==1",
+		"api:rate=10,,prio=low",
+		"API:rate=10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		w, err := ParseWorkload(spec)
+		if err != nil {
+			if w != nil {
+				t.Errorf("ParseWorkload(%q) returned both a workload and error %v", spec, err)
+			}
+			return
+		}
+		if w == nil {
+			t.Fatalf("ParseWorkload(%q) returned nil without error", spec)
+		}
+		canon := w.String()
+		w2, err := ParseWorkload(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not re-parse: %v", canon, spec, err)
+		}
+		if got := w2.String(); got != canon {
+			t.Errorf("canonical form not a fixed point: %q -> %q -> %q", spec, canon, got)
+		}
+	})
+}

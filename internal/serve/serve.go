@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"fastiov/internal/cluster"
+	"fastiov/internal/cri"
+	"fastiov/internal/fault"
+	"fastiov/internal/fleet"
+	"fastiov/internal/metrics"
+	"fastiov/internal/sim"
+	"fastiov/internal/stats"
+)
+
+// Serving defaults.
+const (
+	// DefaultWorkloadSpec is the canonical three-tenant mix: a high-priority
+	// web frontend at half the offered load, plus a normal API tier and a
+	// low-priority batch tier at a quarter each.
+	DefaultWorkloadSpec = "api:rate=30;batch:rate=30,prio=low;web:rate=60,prio=high"
+	// DefaultWindow is the open-loop arrival window.
+	DefaultWindow = 10 * time.Second
+	// DefaultSLO is the sojourn (arrival to ready) target admitted requests
+	// are held to.
+	DefaultSLO = 2 * time.Second
+	// DefaultHosts sizes the serving fleet.
+	DefaultHosts = 4
+	// DefaultDispatchers is the per-host dispatcher (worker) count: the
+	// control plane serves at most hosts×dispatchers requests concurrently.
+	DefaultDispatchers = 8
+	// DefaultContractPerHost is the token-bucket policy's contracted
+	// capacity per host, in requests per second.
+	DefaultContractPerHost = 10
+	// DefaultBurst is the token-bucket policy's per-tenant burst allowance.
+	DefaultBurst = 8
+	// DefaultLifetime is how long a pod serves after becoming ready before
+	// the control plane retires it. Churn is what makes sustained serving
+	// possible at all: without it the fleet's finite VF population exhausts
+	// and every later request starves — the live-host attach/detach regime
+	// SVFF studies.
+	DefaultLifetime = 2 * time.Second
+	// placeRetry is how long a dispatcher backs off when no host is in
+	// capacity before asking the placement policy again.
+	placeRetry = 5 * time.Millisecond
+)
+
+// Serving-plane instrument ids (registered when Config.Metrics is set).
+// They share the fleet registry's sampling grid, so the conservation
+// invariant (arrived == admitted + shed + in-queue) holds tick by tick
+// across their series.
+const (
+	MetricArrived    = "serve_requests_arrived_total"
+	MetricAdmitted   = "serve_requests_admitted_total"
+	MetricShed       = "serve_requests_shed_total"
+	MetricCompleted  = "serve_requests_completed_total"
+	MetricGood       = "serve_requests_good_total"
+	MetricQueueDepth = "serve_queue_depth"
+)
+
+// Config selects one serving run.
+type Config struct {
+	// Baseline names the cluster baseline every host boots with.
+	Baseline string
+	// Policy names the admission policy (see Policies); PlacePolicy the
+	// fleet placement policy (default vf-aware).
+	Policy      string
+	PlacePolicy string
+	// Hosts sizes the fleet (heterogeneous specs unless HostSpecs is set).
+	Hosts     int
+	HostSpecs []cluster.HostSpec
+	// Workload is the canonical tenant spec (default DefaultWorkloadSpec);
+	// Rate, when positive, rescales it to this total offered rate in
+	// requests per second.
+	Workload string
+	Rate     float64
+	// Window is the open-loop arrival window; SLO the sojourn target.
+	Window time.Duration
+	SLO    time.Duration
+	// QueueCap bounds the admission queue (0 = unbounded); arrivals beyond
+	// it shed regardless of policy.
+	QueueCap int
+	// Dispatchers is the per-host dispatcher count.
+	Dispatchers int
+	// Lifetime is each pod's serving duration after ready, after which the
+	// control plane retires it and its VF returns to the host; negative
+	// pins pods forever (no churn — the fleet eventually exhausts VFs under
+	// sustained load).
+	Lifetime time.Duration
+	// ContractPerHost and Burst parameterize the token-bucket policy.
+	ContractPerHost float64
+	Burst           float64
+	// Seed drives the whole run; tenant arrival streams split from it.
+	Seed uint64
+	// Faults, Trace, Metrics, MetricsCadence, and Audit pass through to the
+	// fleet (see fleet.Config).
+	Faults         *fault.Plan
+	Trace          bool
+	Metrics        bool
+	MetricsCadence time.Duration
+	Audit          bool
+}
+
+// withDefaults normalizes optional fields.
+func (c Config) withDefaults() Config {
+	if c.PlacePolicy == "" {
+		c.PlacePolicy = fleet.PolicyVFAware
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = DefaultHosts
+	}
+	if c.Workload == "" {
+		c.Workload = DefaultWorkloadSpec
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.SLO <= 0 {
+		c.SLO = DefaultSLO
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = DefaultDispatchers
+	}
+	if c.Lifetime == 0 {
+		c.Lifetime = DefaultLifetime
+	}
+	if c.ContractPerHost <= 0 {
+		c.ContractPerHost = DefaultContractPerHost
+	}
+	if c.Burst <= 0 {
+		c.Burst = DefaultBurst
+	}
+	return c
+}
+
+// TenantStat is one tenant's request accounting over a run.
+type TenantStat struct {
+	Name     string
+	Priority Priority
+	Arrived  int
+	Admitted int
+	Shed     int
+	Completed int
+	Failed    int
+	// Sojourns samples this tenant's completed requests' arrival-to-ready
+	// latency.
+	Sojourns *stats.Sample
+}
+
+// Server is one serving control plane wired over a booted fleet.
+type Server struct {
+	Cfg Config
+	F   *fleet.Fleet
+
+	workload *Workload
+	arrivals []Request
+	pol      Policy
+	q        *sim.Queue[*Request]
+
+	t0 time.Duration
+
+	// Request accounting. Every transition happens inside one baton step,
+	// so arrived == admitted + shedAdmission + shedQueue + inQueue at every
+	// observable instant — the conservation invariant the tests sample.
+	arrived, admitted, shedAdmission, shedQueue int
+	inQueue, completed, failed, good           int
+
+	// ewmaSec smooths observed startup seconds for the SLO-aware policy's
+	// dispatch-cost term.
+	ewmaSec float64
+
+	sojourns *stats.Sample
+	tenants  []*TenantStat
+	byName   map[string]*TenantStat
+}
+
+// New parses the workload, draws the arrival schedule, boots the fleet, and
+// wires the admission policy. The run itself happens in Run.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	w, err := ParseWorkload(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	w = w.Scaled(cfg.Rate)
+	s := &Server{
+		Cfg:      cfg,
+		workload: w,
+		arrivals: w.Arrivals(cfg.Seed, cfg.Window),
+		q:        sim.NewQueue[*Request]("serve-admit"),
+		sojourns: stats.NewSample(),
+		byName:   make(map[string]*TenantStat),
+	}
+	if len(s.arrivals) == 0 {
+		return nil, fmt.Errorf("serve: workload %q offers no arrivals in %v", w, cfg.Window)
+	}
+	for _, t := range w.Tenants {
+		ts := &TenantStat{Name: t.Name, Priority: t.Priority, Sojourns: stats.NewSample()}
+		s.tenants = append(s.tenants, ts)
+		s.byName[t.Name] = ts
+	}
+	s.pol, err = NewPolicy(cfg.Policy, PolicyConfig{
+		SLO:          cfg.SLO,
+		ContractRate: cfg.ContractPerHost * float64(cfg.Hosts),
+		Burst:        cfg.Burst,
+		Tenants:      w.Tenants,
+	})
+	if err != nil {
+		return nil, err
+	}
+	specs := cfg.HostSpecs
+	if len(specs) == 0 {
+		specs = fleet.HeterogeneousSpecs(cfg.Hosts)
+	}
+	s.F, err = fleet.New(fleet.Config{
+		Baseline:       cfg.Baseline,
+		Policy:         cfg.PlacePolicy,
+		HostSpecs:      specs,
+		Requests:       len(s.arrivals),
+		Seed:           cfg.Seed,
+		Faults:         cfg.Faults,
+		Trace:          cfg.Trace,
+		Metrics:        cfg.Metrics,
+		MetricsCadence: cfg.MetricsCadence,
+		Audit:          cfg.Audit,
+		// Register the serving instruments before the fleet sampler starts,
+		// so their series share the fleet's tick grid.
+		RegisterMetrics: func(m *metrics.Registry) { s.registerMetrics(m) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// registerMetrics adds the admission-plane instruments to the fleet's
+// sampled registry. All read-only closures: sampling never perturbs the run.
+func (s *Server) registerMetrics(m *metrics.Registry) {
+	m.CounterFunc(MetricArrived, "pod-start requests arrived (open loop)", nil,
+		func() float64 { return float64(s.arrived) })
+	m.CounterFunc(MetricAdmitted, "requests admitted past the queue to dispatch", nil,
+		func() float64 { return float64(s.admitted) })
+	m.CounterFunc(MetricShed, "requests shed at admission or mid-queue", nil,
+		func() float64 { return float64(s.shedAdmission + s.shedQueue) })
+	m.CounterFunc(MetricCompleted, "admitted requests whose startup completed", nil,
+		func() float64 { return float64(s.completed) })
+	m.CounterFunc(MetricGood, "completed requests inside the sojourn SLO", nil,
+		func() float64 { return float64(s.good) })
+	m.GaugeFunc(MetricQueueDepth, "requests waiting in the admission queue", nil,
+		func() float64 { return float64(s.inQueue) })
+}
+
+// view snapshots the control-plane state for a policy decision.
+func (s *Server) view(now time.Duration) View {
+	return View{
+		Now:            now,
+		Elapsed:        now - s.t0,
+		QueueDepth:     s.inQueue,
+		Inflight:       s.F.Inflight(),
+		FreeVFHeadroom: s.F.FreeVFHeadroom(),
+		DevsetWaiters:  s.F.DevsetWaiters(),
+		MembwBusy:      s.F.MembwBusyTotal(),
+		Completed:      s.completed,
+		StartupEWMA:    time.Duration(s.ewmaSec * float64(time.Second)),
+		SLO:            s.Cfg.SLO,
+	}
+}
+
+// Run executes the serving window: spawns the dispatchers, schedules every
+// arrival, runs the shared kernel to quiescence (the open loop closes after
+// the last arrival; dispatchers drain the queue), then seals the fleet.
+func (s *Server) Run() *Result {
+	k := s.F.K
+	s.t0 = k.Now()
+
+	// Dispatchers park on the queue before the first arrival fires.
+	for d := 0; d < s.Cfg.Hosts*s.Cfg.Dispatchers; d++ {
+		k.Go(fmt.Sprintf("disp-%d", d), s.dispatcher)
+	}
+
+	lastAt := s.arrivals[len(s.arrivals)-1].At
+	for i := range s.arrivals {
+		r := &s.arrivals[i]
+		k.GoAt(s.t0+r.At, fmt.Sprintf("req-%d", r.ID), func(p *sim.Proc) {
+			s.arrive(p, r)
+		})
+	}
+	// Created after the arrival procs, so at the shared instant it runs
+	// after the last arrival's push: the queue closes exactly once the open
+	// loop ends, and dispatchers exit after draining it.
+	k.GoAt(s.t0+lastAt, "serve-close", func(p *sim.Proc) { s.q.Close(p) })
+
+	k.Run()
+	return s.finish()
+}
+
+// arrive handles one request at its arrival instant: count it, let the
+// policy (and the queue bound) decide, and either enqueue or shed.
+func (s *Server) arrive(p *sim.Proc, r *Request) {
+	s.arrived++
+	ts := s.byName[r.Tenant]
+	ts.Arrived++
+	if s.Cfg.QueueCap > 0 && s.inQueue >= s.Cfg.QueueCap {
+		s.shedAdmission++
+		ts.Shed++
+		return
+	}
+	if !s.pol.Admit(r, s.view(p.Now())) {
+		s.shedAdmission++
+		ts.Shed++
+		return
+	}
+	s.inQueue++
+	s.q.Push(p, r)
+}
+
+// dispatcher is one serving worker: pop, revalidate, place on the fleet
+// (retrying while no host is in capacity), and account the completion. The
+// startup itself runs in a child proc named ctr-<id> so trace binding sees
+// the standard container proc names.
+func (s *Server) dispatcher(p *sim.Proc) {
+	for {
+		r, ok := s.q.Pop(p)
+		if !ok {
+			return
+		}
+		s.inQueue--
+		ts := s.byName[r.Tenant]
+		if !s.pol.Revalidate(r, s.view(p.Now())) {
+			s.shedQueue++
+			ts.Shed++
+			continue
+		}
+		s.admitted++
+		ts.Admitted++
+
+		var host int
+		var sb *cri.Sandbox
+		var took time.Duration
+		var err error
+		child := s.F.K.Go(fmt.Sprintf("ctr-%d", r.ID), func(cp *sim.Proc) {
+			for {
+				host, sb, took, err = s.F.Dispatch(cp, r.ID)
+				if host >= 0 {
+					return
+				}
+				cp.Sleep(placeRetry)
+			}
+		})
+		p.Join(child)
+
+		if err != nil {
+			// Fault-injected failures are accounted; genuine errors are
+			// recorded on the fleet and surface from Finish.
+			s.failed++
+			ts.Failed++
+			continue
+		}
+		if s.Cfg.Lifetime >= 0 {
+			// Retire the pod after its lifetime: the VF detaches on a live
+			// host while new starts attach — the churn regime.
+			host, sb := host, sb
+			s.F.K.Go(fmt.Sprintf("pod-%d", r.ID), func(pp *sim.Proc) {
+				pp.Sleep(s.Cfg.Lifetime)
+				s.F.Release(pp, host, sb)
+			})
+		}
+		sojourn := p.Now() - s.t0 - r.At
+		s.completed++
+		ts.Completed++
+		s.sojourns.Add(sojourn)
+		ts.Sojourns.Add(sojourn)
+		if sojourn <= s.Cfg.SLO {
+			s.good++
+		}
+		const alpha = 0.2
+		if s.ewmaSec == 0 {
+			s.ewmaSec = took.Seconds()
+		} else {
+			s.ewmaSec = (1-alpha)*s.ewmaSec + alpha*took.Seconds()
+		}
+	}
+}
+
+// finish seals the run: fleet observers, audits, and the serving result.
+func (s *Server) finish() *Result {
+	fres := s.F.Finish()
+	s.sojourns.Sort()
+	for _, ts := range s.tenants {
+		ts.Sojourns.Sort()
+	}
+	return &Result{
+		Baseline:      s.Cfg.Baseline,
+		Policy:        s.pol.Name(),
+		PlacePolicy:   s.Cfg.PlacePolicy,
+		Hosts:         s.Cfg.Hosts,
+		Window:        s.Cfg.Window,
+		SLO:           s.Cfg.SLO,
+		OfferedRate:   s.workload.TotalRate(),
+		Arrived:       s.arrived,
+		Admitted:      s.admitted,
+		ShedAdmission: s.shedAdmission,
+		ShedQueue:     s.shedQueue,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		Good:          s.good,
+		Sojourns:      s.sojourns,
+		Tenants:       s.tenants,
+		Fleet:         fres,
+		Err:           fres.Err,
+	}
+}
+
+// Result carries one serving run's outcome.
+type Result struct {
+	Baseline    string
+	Policy      string
+	PlacePolicy string
+	Hosts       int
+	Window      time.Duration
+	SLO         time.Duration
+	// OfferedRate is the workload's total base arrival rate (req/s).
+	OfferedRate float64
+
+	Arrived       int
+	Admitted      int
+	ShedAdmission int
+	ShedQueue     int
+	Completed     int
+	Failed        int
+	// Good counts completions inside the SLO.
+	Good int
+
+	// Sojourns samples every completed request's arrival-to-ready latency.
+	Sojourns *stats.Sample
+	// Tenants holds per-tenant accounting in canonical (name) order.
+	Tenants []*TenantStat
+
+	// Fleet is the underlying fleet result (placements, signals, audits,
+	// observers).
+	Fleet *fleet.Result
+	Err   error
+}
+
+// Shed is the total shed count, at admission plus mid-queue.
+func (r *Result) Shed() int { return r.ShedAdmission + r.ShedQueue }
+
+// ShedRate is the shed fraction of all arrivals.
+func (r *Result) ShedRate() float64 {
+	if r.Arrived == 0 {
+		return 0
+	}
+	return float64(r.Shed()) / float64(r.Arrived)
+}
+
+// Goodput is SLO-compliant completions per second of serving window.
+func (r *Result) Goodput() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Good) / r.Window.Seconds()
+}
+
+// Fairness is Jain's index over per-tenant admission ratios
+// (admitted/arrived): 1.0 means every tenant was admitted at the same rate,
+// 1/n means one tenant got everything.
+func (r *Result) Fairness() float64 {
+	var xs []float64
+	for _, t := range r.Tenants {
+		if t.Arrived > 0 {
+			xs = append(xs, float64(t.Admitted)/float64(t.Arrived))
+		}
+	}
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		// Every tenant equally (and completely) starved: fair, if grim.
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// header serializes the serving-plane decisions: accounting, per-tenant
+// tallies, and every sojourn.
+func (r *Result) header() []byte {
+	b := fmt.Appendf(nil, "serve b=%s policy=%s place=%s hosts=%d rate=%s window=%s slo=%s\n",
+		r.Baseline, r.Policy, r.PlacePolicy, r.Hosts, fmtRate(r.OfferedRate), r.Window, r.SLO)
+	b = fmt.Appendf(b, "arrived %d admitted %d shed-adm %d shed-queue %d completed %d failed %d good %d\n",
+		r.Arrived, r.Admitted, r.ShedAdmission, r.ShedQueue, r.Completed, r.Failed, r.Good)
+	for _, t := range r.Tenants {
+		b = fmt.Appendf(b, "tenant %s prio=%s arrived=%d admitted=%d shed=%d completed=%d failed=%d\n",
+			t.Name, t.Priority, t.Arrived, t.Admitted, t.Shed, t.Completed, t.Failed)
+	}
+	for _, d := range r.Sojourns.Values() {
+		b = fmt.Appendf(b, "sojourn %d\n", d)
+	}
+	return b
+}
+
+// Canonical serializes everything the simulation decides — the serving
+// header plus the fleet's canonical block — but none of the observers'
+// digests, mirroring fleet.Result.Canonical's transparency contract.
+func (r *Result) Canonical() []byte { return append(r.header(), r.Fleet.Canonical()...) }
+
+// Fingerprint extends Canonical with the fleet's audit outcome and observer
+// digests — everything a determinism double-run must reproduce exactly.
+func (r *Result) Fingerprint() []byte { return append(r.header(), r.Fleet.Fingerprint()...) }
+
+// Run is the one-call serving experiment: boot, serve the window, seal.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	return res, nil
+}

@@ -113,9 +113,11 @@ func (s *Sample) Percentile(p float64) time.Duration {
 	return s.values[lo] + time.Duration(frac*float64(s.values[hi]-s.values[lo]))
 }
 
-// P50, P99 are the quantiles the paper reports.
+// P50, P99 are the quantiles the paper reports; P999 is the tail quantile
+// the serving experiments add.
 func (s *Sample) P50() time.Duration { return s.Percentile(50) }
 func (s *Sample) P99() time.Duration { return s.Percentile(99) }
+func (s *Sample) P999() time.Duration { return s.Percentile(99.9) }
 
 // Stddev returns the population standard deviation.
 func (s *Sample) Stddev() time.Duration {

@@ -56,6 +56,36 @@ func TestSingleValue(t *testing.T) {
 	}
 }
 
+// TestP999Degenerate pins the new p99.9 path at the sample sizes where
+// quantile code traditionally breaks: n=0 must return zero (not panic or
+// index out of range) and n=1 must return the lone value, exactly like the
+// guarded lower quantiles.
+func TestP999Degenerate(t *testing.T) {
+	if got := NewSample().P999(); got != 0 {
+		t.Errorf("p99.9 of empty sample = %v, want 0", got)
+	}
+	one := FromDurations([]time.Duration{ms(42)})
+	if got := one.P999(); got != ms(42) {
+		t.Errorf("p99.9 of single value = %v, want 42ms", got)
+	}
+}
+
+// TestP999Monotone checks p99.9 sits between p99 and the max, and lands in
+// the top interpolation interval of a uniform sample.
+func TestP999Monotone(t *testing.T) {
+	s := NewSample()
+	for i := 1; i <= 1000; i++ {
+		s.Add(ms(i))
+	}
+	p99, p999, max := s.P99(), s.P999(), s.Max()
+	if p999 < p99 || p999 > max {
+		t.Errorf("p99.9 %v outside [p99 %v, max %v]", p999, p99, max)
+	}
+	if p999 < ms(999) {
+		t.Errorf("p99.9 of 1..1000ms = %v, want >= 999ms", p999)
+	}
+}
+
 func TestP99OfUniform(t *testing.T) {
 	s := NewSample()
 	for i := 1; i <= 100; i++ {
