@@ -83,6 +83,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		contention = fs.Bool("contention", false, "shorthand for -experiment contention")
 		fleetRun   = fs.Bool("fleet", false, "shorthand for -experiment fleet")
 		serveRun   = fs.Bool("serve", false, "shorthand for -experiment serving")
+		availRun   = fs.Bool("availability", false, "shorthand for -experiment availability")
+		mtbf       = fs.Duration("mtbf", 0, "availability experiment host MTBF, e.g. 2s (<=0 = the default MTBF/MTTR ladder)")
 		hosts      = fs.Int("hosts", 0, "fleet/serving experiment host count (<=0 = paper-scale default)")
 		policy     = fs.String("policy", "", "restrict the fleet experiment to one placement policy (random|rr|least-loaded|vf-aware), or with -serve one admission policy (fifo|token-bucket|slo-aware); empty sweeps all")
 		rate       = fs.Float64("rate", 0, "serving experiment offered load in req/s (<=0 = the default overload ladder)")
@@ -183,7 +185,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *serveRun {
 		*experiment = "serving"
 	}
-	if *experiment == "serving" {
+	if *availRun {
+		*experiment = "availability"
+	}
+	if *experiment == "serving" || *experiment == "availability" {
 		servePolicy = *policy
 		*policy = ""
 	}
@@ -201,6 +206,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		FaultSpec:         *faults,
 		Fleet:             fastiov.FleetConfig{Hosts: *hosts, Policy: *policy},
 		Serve:             fastiov.ServeConfig{Hosts: *hosts, Policy: servePolicy, Tenants: *tenants, Rate: *rate},
+		Availability:      fastiov.AvailabilityConfig{MTBF: *mtbf},
 		DisableSnapshots:  !*snapshots,
 	})
 	entries := suite.Experiments()

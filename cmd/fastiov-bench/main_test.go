@@ -256,7 +256,7 @@ func TestListExits0(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, stderr: %s", code, stderr.String())
 	}
-	for _, id := range []string{"fig1", "fig11", "tab1", "bg-dataplane"} {
+	for _, id := range []string{"fig1", "fig11", "tab1", "bg-dataplane", "availability"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list missing %s", id)
 		}

@@ -21,6 +21,7 @@ package fastiov
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"fastiov/internal/audit"
 	"fastiov/internal/cluster"
@@ -167,6 +168,9 @@ type RunConfig struct {
 	// Serve shapes the serving experiment (the admission-control study):
 	// zero values keep the serving defaults.
 	Serve ServeConfig
+	// Availability shapes the availability experiment (serving under host
+	// crash/recovery): zero values sweep the default MTBF/MTTR ladder.
+	Availability AvailabilityConfig
 	// DisableSnapshots turns off boot-prefix snapshot caching, forcing
 	// every scenario to re-simulate its host boot from scratch. Results
 	// are byte-identical either way (restores are verified transparent);
@@ -204,6 +208,16 @@ type ServeConfig struct {
 
 // ServePolicies lists the admission policies the serving experiment sweeps.
 func ServePolicies() []string { return serve.Policies() }
+
+// AvailabilityConfig parameterizes the availability experiment (serving
+// over a fleet whose full-profile host crashes on an MTBF clock and reboots
+// after the host-recover delay). It also honours ServeConfig's Hosts,
+// Policy, and Rate.
+type AvailabilityConfig struct {
+	// MTBF pins the host mean-time-between-failures to a single ladder
+	// cell; <= 0 sweeps the default MTBF/MTTR ladder.
+	MTBF time.Duration
+}
 
 // ValidateWorkloadSpec parses a serving workload expression and reports the
 // first grammar error, if any. The grammar is semicolon-separated clauses,
@@ -267,6 +281,7 @@ func NewSuite(cfg RunConfig) *Suite {
 	x.SetMetrics(cfg.Metrics)
 	x.SetFleet(cfg.Fleet.Hosts, cfg.Fleet.Policy)
 	x.SetServe(cfg.Serve.Hosts, cfg.Serve.Policy, cfg.Serve.Tenants, cfg.Serve.Rate)
+	x.SetAvailability(cfg.Availability.MTBF)
 	x.SetSnapshots(!cfg.DisableSnapshots)
 	s := &Suite{cfg: cfg, x: x}
 	if cfg.FaultSpec != "" {
@@ -327,7 +342,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	// the pooled run used cached boot snapshots, the serial re-run boots
 	// every host from scratch (and vice versa), so the byte comparison
 	// also pins snapshot transparency end-to-end.
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet, Serve: s.cfg.Serve, DisableSnapshots: !s.cfg.DisableSnapshots})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet, Serve: s.cfg.Serve, Availability: s.cfg.Availability, DisableSnapshots: !s.cfg.DisableSnapshots})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)

@@ -12,6 +12,7 @@ package audit
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"fastiov/internal/fastiovd"
 	"fastiov/internal/hostmem"
@@ -113,6 +114,107 @@ func Sum(snaps ...Snapshot) Snapshot {
 		out.KVMDemandPages += s.KVMDemandPages
 		out.VhostRegistrations += s.VhostRegistrations
 		out.LazyTracked += s.LazyTracked
+	}
+	return out
+}
+
+// Sub subtracts snapshots counter by counter (a - b). Counters may go
+// negative: the result is a delta, not an observation. The LostToCrash
+// ledger uses it to express "what the crashed generation still held" as
+// baseline-minus-crash-instant.
+func Sub(a, b Snapshot) Snapshot {
+	return Snapshot{
+		FreeVFs:            a.FreeVFs - b.FreeVFs,
+		FreePages:          a.FreePages - b.FreePages,
+		PinnedPages:        a.PinnedPages - b.PinnedPages,
+		IOMMUDomains:       a.IOMMUDomains - b.IOMMUDomains,
+		IOMMUMappedPages:   a.IOMMUMappedPages - b.IOMMUMappedPages,
+		VFIORegistered:     a.VFIORegistered - b.VFIORegistered,
+		DevsetOpens:        a.DevsetOpens - b.DevsetOpens,
+		KVMLiveVMs:         a.KVMLiveVMs - b.KVMLiveVMs,
+		KVMDemandPages:     a.KVMDemandPages - b.KVMDemandPages,
+		VhostRegistrations: a.VhostRegistrations - b.VhostRegistrations,
+		LazyTracked:        a.LazyTracked - b.LazyTracked,
+	}
+}
+
+// LedgerEntry records one host generation destroyed by a crash: the
+// generation's boot baseline and the counters observed at the crash
+// instant (after kill-unwind deferred releases landed). The difference
+// Sub(Base, AtCrash) is what the dead generation still held — resources
+// lost to the crash, released by no one.
+type LedgerEntry struct {
+	// Host is the fleet index of the crashed host; Generation counts its
+	// boots (0 = the original boot).
+	Host       int
+	Generation int
+	// At is the simulated crash instant.
+	At time.Duration
+	// Base is the generation's post-boot audit baseline; AtCrash is the
+	// snapshot taken at the crash instant.
+	Base    Snapshot
+	AtCrash Snapshot
+}
+
+// Lost is the entry's unreturned residue: Sub(Base, AtCrash).
+func (e LedgerEntry) Lost() Snapshot { return Sub(e.Base, e.AtCrash) }
+
+// Ledger is the LostToCrash ledger: one entry per destroyed host
+// generation. Fleet-wide conservation closes to zero only when the lost
+// state is credited back explicitly:
+//
+//	Sum(live baselines) + Sum(ledger Base)
+//	  == Sum(live finals) + Sum(ledger AtCrash) + LostTotal
+//
+// which holds identically iff every surviving generation is individually
+// clean.
+type Ledger struct {
+	Entries []LedgerEntry
+}
+
+// Add appends an entry.
+func (l *Ledger) Add(e LedgerEntry) { l.Entries = append(l.Entries, e) }
+
+// Len returns the number of entries (nil-safe).
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Entries)
+}
+
+// BaseTotal sums the destroyed generations' boot baselines (nil-safe).
+func (l *Ledger) BaseTotal() Snapshot {
+	var out Snapshot
+	if l == nil {
+		return out
+	}
+	for _, e := range l.Entries {
+		out = Sum(out, e.Base)
+	}
+	return out
+}
+
+// AtCrashTotal sums the crash-instant snapshots (nil-safe).
+func (l *Ledger) AtCrashTotal() Snapshot {
+	var out Snapshot
+	if l == nil {
+		return out
+	}
+	for _, e := range l.Entries {
+		out = Sum(out, e.AtCrash)
+	}
+	return out
+}
+
+// LostTotal sums the unreturned residues across all entries (nil-safe).
+func (l *Ledger) LostTotal() Snapshot {
+	var out Snapshot
+	if l == nil {
+		return out
+	}
+	for _, e := range l.Entries {
+		out = Sum(out, e.Lost())
 	}
 	return out
 }

@@ -348,6 +348,24 @@ func (h *Host) auditSystem() audit.System {
 // AuditSnapshot captures the host's current conservation counters.
 func (h *Host) AuditSnapshot() audit.Snapshot { return audit.Capture(h.auditSystem()) }
 
+// RecoveryCost models the readiness delay a freshly rebooted host pays
+// before it can serve again, given lostTracked — the number of lazily
+// tracked pages the dead generation's fastiovd lost. This is the paper's
+// recovery asymmetry: a vanilla host cannot trust any VF left behind by
+// the crashed generation and must reset and re-zero the whole pool
+// serially (NumVFs function-level resets — the recovery-time cliff at 256
+// VFs), while a FastIOV host reloads fastiovd, conservatively re-registers
+// the lost scrub tracking (one bookkeeping insert per lost page), and
+// pushes the pool re-zeroing off the readiness path onto the background
+// scrubber — a near-flat curve in the VF count.
+func (h *Host) RecoveryCost(lostTracked int) time.Duration {
+	if h.Opts.LazyZeroing {
+		reload := vfio.DefaultCosts().DeviceReset // module reload + one sanity FLR
+		return reload + time.Duration(lostTracked)*h.Lazy.RegisterCostPerPage
+	}
+	return time.Duration(h.Spec.NumVFs) * vfio.DefaultCosts().DeviceReset
+}
+
 // NewHost boots a machine: creates the hardware, pre-creates the VFs, and
 // binds them to the driver the configuration requires (vfio-pci once at
 // boot for the fixed CNIs; unbound for the flawed rebinding CNI). The host
@@ -601,9 +619,11 @@ func (h *Host) StartupExperiment(n int) *Result {
 func (h *Host) StartOne(p *sim.Proc, id int) (*cri.Sandbox, error) {
 	h.wave.started++
 	h.wave.inflight++
+	// Deferred so the count stays consistent when the start is killed
+	// mid-flight by a host crash (the kill unwind runs defers only).
+	defer func() { h.wave.inflight-- }()
 	began := p.Now()
 	sb, err := h.Eng.RunPodSandbox(p, id)
-	h.wave.inflight--
 	if err != nil {
 		if fault.IsFault(err) {
 			h.wave.failed++

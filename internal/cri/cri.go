@@ -64,6 +64,12 @@ type Options struct {
 	// retry telemetry spans. Inert at their zero values.
 	Faults *fault.Injector
 	Retry  fault.Policy
+	// Track, when non-nil, observes every background proc the engine
+	// spawns (the async vf-init threads). The fleet layer installs it so a
+	// host crash can kill the host's in-flight background work; it must
+	// only record the handle — calling back into the scheduler would
+	// perturb the run.
+	Track func(*sim.Proc)
 }
 
 // Engine is the container engine plus runtime for one host.
@@ -98,6 +104,11 @@ func (e *Engine) SetRecorder(rec *telemetry.Recorder) { e.rec = rec }
 
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
+
+// SetTrack installs the background-proc observer after construction (the
+// fleet wires it once it knows the host's index). Pure bookkeeping: the
+// hook records proc handles and never calls back into the scheduler.
+func (e *Engine) SetTrack(fn func(*sim.Proc)) { e.opts.Track = fn }
 
 // Env returns the hypervisor environment.
 func (e *Engine) Env() *hypervisor.Env { return e.env }
@@ -328,9 +339,12 @@ func (e *Engine) RunPodSandbox(p *sim.Proc, id int) (*Sandbox, error) {
 	if res.VF != nil && e.opts.AsyncVFInit {
 		// FastIOV: initialize the interface in the background; the agent
 		// will gate application execution on readiness.
-		e.env.K.Go(fmt.Sprintf("vf-init-%d", id), func(q *sim.Proc) {
+		vp := e.env.K.Go(fmt.Sprintf("vf-init-%d", id), func(q *sim.Proc) {
 			g.InitVFDriver(q)
 		})
+		if e.opts.Track != nil {
+			e.opts.Track(vp)
+		}
 	} else {
 		// Vanilla: the runtime waits for the interface before declaring
 		// the sandbox ready (5-vf-driver), observing readiness through the

@@ -52,6 +52,10 @@ type Exec struct {
 	servePolicy  string
 	serveTenants string
 	serveRate    float64
+	// availMTBF pins the availability experiment to a single host-MTBF
+	// ladder cell (<= 0 sweeps the default MTBF/MTTR ladder). The
+	// experiment also honours serveHosts, servePolicy, and serveRate.
+	availMTBF time.Duration
 	// snapshots enables boot-prefix snapshot caching: the first scenario
 	// needing a given (boot inputs, seed) boots a host and captures a
 	// cluster.Snapshot into the singleflight cache under Scope "boot";
@@ -146,6 +150,10 @@ func (x *Exec) SetServe(hosts int, policy, tenants string, rate float64) {
 	x.serveTenants = tenants
 	x.serveRate = rate
 }
+
+// SetAvailability pins the availability experiment's host MTBF (<= 0 keeps
+// the default MTBF/MTTR ladder sweep).
+func (x *Exec) SetAvailability(mtbf time.Duration) { x.availMTBF = mtbf }
 
 // CacheStats aliases the pool's traffic counters so callers above the
 // experiments layer need not import the harness directly.

@@ -116,6 +116,9 @@ func Registry() []Entry {
 		{"serving", "Admission-controlled serving under sustained overload", func(x *Exec, n int) (*Report, error) {
 			return x.Serving(n)
 		}},
+		{"availability", "Fleet availability under host crash/recovery", func(x *Exec, n int) (*Report, error) {
+			return x.Availability(n)
+		}},
 	}
 }
 

@@ -17,6 +17,7 @@
 package fastiovd
 
 import (
+	"sort"
 	"time"
 
 	"fastiov/internal/fault"
@@ -85,6 +86,15 @@ type Module struct {
 	Faults *fault.Injector
 	// ScrubberStalls counts wakes lost to injected stalls.
 	ScrubberStalls int
+
+	// scrubProc is the live scrubber daemon (nil before StartScrubber);
+	// scrubInterval and scrubPagesPerPass remember its configuration so
+	// CrashDaemon can restart it identically.
+	scrubProc         *sim.Proc
+	scrubInterval     time.Duration
+	scrubPagesPerPass int
+	// ScrubberRestarts counts daemon-crash failovers (CrashDaemon calls).
+	ScrubberRestarts int
 }
 
 // New loads the module.
@@ -186,6 +196,58 @@ func (m *Module) claimAndZero(p *sim.Proc, pid int, hpaPage int64) {
 	completed = true
 }
 
+// ScrubProc returns the live scrubber daemon (nil before StartScrubber).
+func (m *Module) ScrubProc() *sim.Proc { return m.scrubProc }
+
+// CrashDaemon models a fastiovd crash-and-failover (§5's daemon as a
+// failure domain of its own): the scrubber thread dies mid-pass and its
+// volatile scan state — the FIFO scrub queue — is lost. The two-tier table
+// itself survives (it is the persistent registration state), so the new
+// daemon instance conservatively rebuilds its queue by walking every
+// tracked page in deterministic (pid, page) order, paying the bookkeeping
+// insert per page again, and then resumes scrubbing with the original
+// configuration. TrackedTotal is unchanged throughout, so the conservation
+// audit cannot tell a failover happened — only the telemetry can.
+//
+// p is the proc driving the crash (the fleet's crash injector), which pays
+// the reconstruction cost. No-op if the scrubber was never started.
+func (m *Module) CrashDaemon(p *sim.Proc) {
+	if m.scrubProc == nil {
+		return
+	}
+	// Kill the daemon. If it is mid-zero, claimAndZero's deferred rollback
+	// re-tracks the in-flight page, so nothing is lost — only the queue
+	// order it had accumulated.
+	m.k.Kill(m.scrubProc)
+	m.scrubProc = nil
+	// The dying pass may have re-queued its in-flight page; the rebuild
+	// below supersedes the old queue entirely.
+	m.scrubQueue = m.scrubQueue[:0]
+	pids := make([]int, 0, len(m.tables))
+	for pid := range m.tables {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var n int64
+	for _, pid := range pids {
+		t := m.tables[pid]
+		pages := make([]int64, 0, len(t))
+		for pg := range t {
+			pages = append(pages, pg)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		for _, pg := range pages {
+			m.scrubQueue = append(m.scrubQueue, scrubEntry{pid: pid, page: pg})
+			n++
+		}
+	}
+	if cost := time.Duration(n) * m.RegisterCostPerPage; cost > 0 {
+		p.Sleep(cost)
+	}
+	m.ScrubberRestarts++
+	m.StartScrubber(m.scrubInterval, m.scrubPagesPerPass)
+}
+
 // zero clears one page, auditing the crash case: the page must not already
 // hold live data (that data would be destroyed).
 func (m *Module) zero(p *sim.Proc, hpaPage int64) {
@@ -224,7 +286,8 @@ func (m *Module) Release(pid int) {
 // periodically sweeps the two-tier table, zeroing up to pagesPerPass pages
 // per wake and removing them, overlapping zeroing with other startup stages.
 func (m *Module) StartScrubber(interval time.Duration, pagesPerPass int) {
-	m.k.GoDaemon("fastiovd-scrub", func(p *sim.Proc) {
+	m.scrubInterval, m.scrubPagesPerPass = interval, pagesPerPass
+	m.scrubProc = m.k.GoDaemon("fastiovd-scrub", func(p *sim.Proc) {
 		for {
 			p.Sleep(m.Faults.Inflate(fault.SiteScrubber, interval))
 			if err := m.Faults.Fail(fault.SiteScrubber); err != nil {

@@ -124,6 +124,49 @@ func knownSite(s Site) bool {
 	return IsCrashSite(s)
 }
 
+// Host-scoped clause prefixes in the plan grammar. Unlike site rules, host
+// clauses are not evaluated by the Injector: the fleet layer reads them off
+// the plan and schedules deterministic whole-host (or daemon) crashes on
+// simulated time.
+const (
+	hostCrashPrefix   = "host-crash@"
+	daemonCrashPrefix = "daemon-crash@"
+	hostRecoverPrefix = "host-recover="
+)
+
+// HostClause is one host-scoped crash event: at simulated time At, host
+// Host either dies wholesale (in-flight starts aborted, live pods
+// destroyed, nothing released) or, with Daemon set, loses only its fastiovd
+// daemon (scrub-tracking state must be conservatively rebuilt). A non-zero
+// MTBF re-arms the clause: each time the host returns to service it crashes
+// again MTBF later.
+type HostClause struct {
+	At     time.Duration
+	Host   int
+	Daemon bool
+	MTBF   time.Duration
+}
+
+// String renders the clause in the plan grammar.
+func (c HostClause) String() string {
+	prefix := hostCrashPrefix
+	if c.Daemon {
+		prefix = daemonCrashPrefix
+	}
+	s := prefix + c.At.String()
+	var kvs []string
+	if c.Host != 0 {
+		kvs = append(kvs, "host="+strconv.Itoa(c.Host))
+	}
+	if c.MTBF > 0 {
+		kvs = append(kvs, "mtbf="+c.MTBF.String())
+	}
+	if len(kvs) > 0 {
+		s += ":" + strings.Join(kvs, ",")
+	}
+	return s
+}
+
 // Rule configures one site. The zero value is inert.
 type Rule struct {
 	// Prob is the per-occurrence failure probability in [0, 1], drawn from
@@ -144,10 +187,16 @@ func (r Rule) active() bool {
 	return r.Prob > 0 || r.EveryN > 0 || (r.Latency > 0 && r.Latency != 1)
 }
 
-// Plan maps sites to rules. The zero value and nil are both valid empty
-// plans.
+// Plan maps sites to rules and carries the host-scoped crash clauses. The
+// zero value and nil are both valid empty plans.
 type Plan struct {
 	rules map[Site]Rule
+	// hosts are the host/daemon crash clauses, in parse order (String sorts
+	// them canonically).
+	hosts []HostClause
+	// recoverAfter is the MTTR installed by host-recover=<dur>; 0 means
+	// crashed hosts stay down for the rest of the run.
+	recoverAfter time.Duration
 }
 
 // NewPlan returns an empty plan.
@@ -170,25 +219,78 @@ func (pl *Plan) Rule(site Site) (Rule, bool) {
 	return r, ok
 }
 
-// Empty reports whether the plan has no active rule (nil-safe). An empty
-// plan must behave exactly like no plan: NewInjector returns nil for it.
-func (pl *Plan) Empty() bool {
+// AddHostClause appends a host-scoped crash clause.
+func (pl *Plan) AddHostClause(c HostClause) { pl.hosts = append(pl.hosts, c) }
+
+// SetRecoverAfter installs the MTTR: crashed hosts begin recovery d after
+// the crash (0 restores the default of never recovering).
+func (pl *Plan) SetRecoverAfter(d time.Duration) { pl.recoverAfter = d }
+
+// HostClauses returns the host-scoped crash clauses in canonical order
+// (sorted by At, then Host, then daemon-ness, then MTBF), nil-safe. The
+// returned slice is a copy.
+func (pl *Plan) HostClauses() []HostClause {
+	if pl == nil || len(pl.hosts) == 0 {
+		return nil
+	}
+	out := append([]HostClause(nil), pl.hosts...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if a.Daemon != b.Daemon {
+			return !a.Daemon
+		}
+		return a.MTBF < b.MTBF
+	})
+	return out
+}
+
+// RecoverAfter returns the MTTR (nil-safe); 0 means crashed hosts never
+// recover.
+func (pl *Plan) RecoverAfter() time.Duration {
 	if pl == nil {
-		return true
+		return 0
+	}
+	return pl.recoverAfter
+}
+
+// HasHostFaults reports whether any host-scoped clause is present
+// (nil-safe). A bare host-recover with no crash clause is inert and does
+// not count.
+func (pl *Plan) HasHostFaults() bool { return pl != nil && len(pl.hosts) > 0 }
+
+// hasSiteRules reports whether any per-site rule is active (nil-safe).
+func (pl *Plan) hasSiteRules() bool {
+	if pl == nil {
+		return false
 	}
 	for _, r := range pl.rules {
 		if r.active() {
-			return false
+			return true
 		}
 	}
-	return true
+	return false
 }
 
-// String renders the plan in the -faults grammar with sites sorted and
-// inert fields omitted, so equal plans render identically (the rendering
-// doubles as a cache-key component). An empty plan renders as "".
+// Empty reports whether the plan has no active rule and no host-scoped
+// crash clause (nil-safe). An empty plan must behave exactly like no plan.
+// A plan whose only clause is host-recover is still empty: with nothing to
+// crash, recovery never triggers.
+func (pl *Plan) Empty() bool {
+	return !pl.hasSiteRules() && !pl.HasHostFaults()
+}
+
+// String renders the plan in the -faults grammar with sites sorted, host
+// clauses in canonical order, and inert fields omitted, so equal plans
+// render identically (the rendering doubles as a cache-key component). An
+// empty plan renders as "".
 func (pl *Plan) String() string {
-	if pl == nil || len(pl.rules) == 0 {
+	if pl == nil || (len(pl.rules) == 0 && len(pl.hosts) == 0 && pl.recoverAfter == 0) {
 		return ""
 	}
 	sites := make([]string, 0, len(pl.rules))
@@ -222,6 +324,19 @@ func (pl *Plan) String() string {
 		b.WriteByte(':')
 		b.WriteString(strings.Join(kvs, ","))
 	}
+	for _, c := range pl.HostClauses() {
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(c.String())
+	}
+	if pl.recoverAfter > 0 {
+		if b.Len() > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(hostRecoverPrefix)
+		b.WriteString(pl.recoverAfter.String())
+	}
 	return b.String()
 }
 
@@ -246,17 +361,57 @@ func Uniform(p float64, sites ...Site) *Plan {
 // CrashStages(), and keys are p (probability in [0,1]), every (fail each
 // Nth occurrence, N >= 1), limit (max injected failures, >= 0), and lat
 // (latency factor, > 0). Crash sites reject lat: a crash aborts the
-// container at the stage boundary, it has no latency to inflate. Malformed
-// specs return an error; the parser never panics. The empty string parses
-// to an empty plan.
+// container at the stage boundary, it has no latency to inflate.
+//
+// Three host-scoped clauses extend the grammar for fleet runs:
+//
+//	host-crash@<t>[:host=<sel>][,mtbf=<dur>]   kill a whole host at t
+//	daemon-crash@<t>[:host=<sel>][,mtbf=<dur>] kill only its fastiovd at t
+//	host-recover=<dur>                         MTTR: recovery starts dur after a crash
+//
+// Crash clauses reject lat too — a crash is an instant, not a latency.
+// host-recover may appear at most once. Malformed specs return an error;
+// the parser never panics. The empty string parses to an empty plan.
 func ParsePlan(spec string) (*Plan, error) {
 	pl := NewPlan()
 	if strings.TrimSpace(spec) == "" {
 		return pl, nil
 	}
+	seenRecover := false
 	for _, part := range strings.Split(spec, ";") {
 		part = strings.TrimSpace(part)
 		if part == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, hostRecoverPrefix); ok {
+			if seenRecover {
+				return nil, fmt.Errorf("fault: host-recover specified twice")
+			}
+			d, err := time.ParseDuration(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("fault: host-recover=%q: %v", rest, err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("fault: host-recover=%q: want duration > 0", rest)
+			}
+			seenRecover = true
+			pl.recoverAfter = d
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, hostCrashPrefix); ok {
+			c, err := parseHostClause("host-crash", rest, false)
+			if err != nil {
+				return nil, err
+			}
+			pl.hosts = append(pl.hosts, c)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(part, daemonCrashPrefix); ok {
+			c, err := parseHostClause("daemon-crash", rest, true)
+			if err != nil {
+				return nil, err
+			}
+			pl.hosts = append(pl.hosts, c)
 			continue
 		}
 		siteStr, kvs, ok := strings.Cut(part, ":")
@@ -320,6 +475,49 @@ func ParsePlan(spec string) (*Plan, error) {
 	return pl, nil
 }
 
+// parseHostClause parses the "<t>[:key=val[,key=val...]]" tail of a
+// host-crash@/daemon-crash@ clause.
+func parseHostClause(clause, rest string, daemon bool) (HostClause, error) {
+	timeStr, kvs, hasKVs := strings.Cut(rest, ":")
+	at, err := time.ParseDuration(strings.TrimSpace(timeStr))
+	if err != nil {
+		return HostClause{}, fmt.Errorf("fault: %s@%q: %v", clause, timeStr, err)
+	}
+	if at < 0 {
+		return HostClause{}, fmt.Errorf("fault: %s@%q: want time >= 0", clause, timeStr)
+	}
+	c := HostClause{At: at, Daemon: daemon}
+	if !hasKVs {
+		return c, nil
+	}
+	for _, kv := range strings.Split(kvs, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return HostClause{}, fmt.Errorf("fault: %s: %q: want key=val", clause, kv)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch k {
+		case "host":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return HostClause{}, fmt.Errorf("fault: %s: host=%q: want integer >= 0", clause, v)
+			}
+			c.Host = n
+		case "mtbf":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return HostClause{}, fmt.Errorf("fault: %s: mtbf=%q: want duration > 0", clause, v)
+			}
+			c.MTBF = d
+		case "lat":
+			return HostClause{}, fmt.Errorf("fault: %s: lat is not valid for crash clauses (want host, mtbf)", clause)
+		default:
+			return HostClause{}, fmt.Errorf("fault: %s: unknown key %q (want host, mtbf)", clause, k)
+		}
+	}
+	return c, nil
+}
+
 // parseFloat rejects NaN and ±Inf in addition to syntax errors: a
 // non-finite probability or latency factor would poison every downstream
 // duration.
@@ -366,10 +564,13 @@ type siteState struct {
 const injectorSalt = 0x9E3779B97F4A7C15
 
 // NewInjector builds an injector for the plan, deriving an independent
-// PRNG stream from the run seed. Empty plans yield nil: zero faults means
-// zero draws, zero branches, and byte-identical simulation.
+// PRNG stream from the run seed. Plans without active site rules yield nil:
+// zero site faults means zero draws, zero branches, and byte-identical
+// simulation. Host-scoped clauses do not need an injector — the fleet
+// schedules them directly on simulated time — so a host-clause-only plan
+// also yields nil, keeping per-host fault accounting byte-absent.
 func NewInjector(seed uint64, plan *Plan) *Injector {
-	if plan.Empty() {
+	if !plan.hasSiteRules() {
 		return nil
 	}
 	inj := &Injector{

@@ -328,6 +328,108 @@ func TestParsePlanCrashClauses(t *testing.T) {
 	}
 }
 
+func TestParsePlanHostClauses(t *testing.T) {
+	pl, err := ParsePlan("host-crash@2s:host=1,mtbf=5s;daemon-crash@500ms;host-recover=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.HasHostFaults() {
+		t.Error("parsed host clauses but HasHostFaults is false")
+	}
+	if pl.Empty() {
+		t.Error("host-clause plan reports empty")
+	}
+	hs := pl.HostClauses()
+	if len(hs) != 2 {
+		t.Fatalf("HostClauses() = %v, want 2 clauses", hs)
+	}
+	// Sorted by time: the daemon crash at 500ms precedes the host crash.
+	if !hs[0].Daemon || hs[0].At != 500*time.Millisecond || hs[0].Host != 0 {
+		t.Errorf("clause 0 = %+v", hs[0])
+	}
+	if hs[1].Daemon || hs[1].At != 2*time.Second || hs[1].Host != 1 || hs[1].MTBF != 5*time.Second {
+		t.Errorf("clause 1 = %+v", hs[1])
+	}
+	if pl.RecoverAfter() != time.Second {
+		t.Errorf("RecoverAfter() = %v, want 1s", pl.RecoverAfter())
+	}
+	// Canonical rendering: site rules first, host clauses sorted, recover
+	// last; host=0 is omitted.
+	want := "daemon-crash@500ms;host-crash@2s:host=1,mtbf=5s;host-recover=1s"
+	if got := pl.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if pl2, err := ParsePlan(pl.String()); err != nil || pl2.String() != want {
+		t.Errorf("round trip: %v, %v", pl2, err)
+	}
+	// Host clauses mix freely with site rules; canonical keeps site rules
+	// ahead of the host block.
+	mixed, err := ParsePlan("host-crash@1s:host=2;vfio-reset:p=0.1;host-recover=300ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMixed := "vfio-reset:p=0.1;host-crash@1s:host=2;host-recover=300ms"
+	if got := mixed.String(); got != wantMixed {
+		t.Errorf("mixed String() = %q, want %q", got, wantMixed)
+	}
+}
+
+func TestParsePlanHostClauseErrors(t *testing.T) {
+	cases := []struct{ spec, wantSub string }{
+		{"host-crash@2s:lat=2", "lat is not valid for crash clauses"},
+		{"daemon-crash@2s:lat=1.5", "lat is not valid for crash clauses"},
+		{"host-crash@-1s", "want time >= 0"},
+		{"host-crash@", "invalid duration"},
+		{"host-crash@2s:host=-1", "want integer >= 0"},
+		{"host-crash@2s:host=x", "want integer >= 0"},
+		{"host-crash@2s:mtbf=0s", "want duration > 0"},
+		{"host-crash@2s:mtbf=-5s", "want duration > 0"},
+		{"host-crash@2s:speed=9", "unknown key"},
+		{"host-crash@2s:host", "want key=val"},
+		{"host-recover=0s", "want duration > 0"},
+		{"host-recover=-1s", "want duration > 0"},
+		{"host-recover=x", "invalid duration"},
+		{"host-recover=1s;host-recover=2s", "specified twice"},
+	}
+	for _, c := range cases {
+		pl, err := ParsePlan(c.spec)
+		if err == nil {
+			t.Errorf("ParsePlan(%q) = %v, want error", c.spec, pl)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParsePlan(%q) error %q missing %q", c.spec, err, c.wantSub)
+		}
+	}
+}
+
+func TestHostClausePlanGatesInjector(t *testing.T) {
+	// A host-clause-only plan is not empty (it must enter cache keys) but
+	// builds no site injector: the per-host fault machinery stays byte-
+	// transparent for site-free plans.
+	pl, err := ParsePlan("host-crash@1s;host-recover=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Empty() {
+		t.Error("host-clause plan reports empty")
+	}
+	if inj := NewInjector(7, pl); inj != nil {
+		t.Error("host-clause-only plan produced a site injector")
+	}
+	// A bare host-recover with no crash clause is inert: empty plan.
+	bare, err := ParsePlan("host-recover=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bare.Empty() {
+		t.Error("bare host-recover plan not empty")
+	}
+	if bare.HasHostFaults() {
+		t.Error("bare host-recover plan claims host faults")
+	}
+}
+
 func TestInjectorCrashEveryN(t *testing.T) {
 	pl := NewPlan()
 	pl.Set(CrashSite(CrashVhost), Rule{EveryN: 2})

@@ -29,6 +29,22 @@ func FuzzParsePlan(f *testing.F) {
 		"crash@bogus:p=0.1",
 		"crash@:p=0.1",
 		"crash@dma:p=0.2;vfio-reset:p=0.1",
+		"host-crash@2s",
+		"host-crash@2s:host=1,mtbf=5s",
+		"daemon-crash@500ms",
+		"daemon-crash@1s:host=3,mtbf=2s",
+		"host-recover=1s",
+		"host-crash@300ms:host=0;daemon-crash@450ms:host=1;host-recover=250ms",
+		"host-crash@2s:lat=2",
+		"host-crash@-1s",
+		"host-crash@2s:host=-1",
+		"host-crash@2s:mtbf=0s",
+		"host-recover=0s",
+		"host-recover=1s;host-recover=2s",
+		"host-crash@",
+		"host-crash@2s:host=x",
+		"host-crash@2s:speed=9",
+		"host-crash@1s:host=1;vfio-reset:p=0.1;host-recover=500ms",
 	} {
 		f.Add(seed)
 	}

@@ -159,6 +159,26 @@ type Fleet struct {
 	totals *stats.Sample
 	live   [][]*cri.Sandbox
 	errs   []error
+
+	// baseOpts is the resolved baseline option set hosts boot with; recovery
+	// re-boots a crashed host from it (failure.go).
+	baseOpts cluster.Options
+
+	// Failure-domain state (failure.go). Allocated only when the fault plan
+	// carries host clauses — host-clause-free runs have none of this, so
+	// they schedule the exact same kernel event sequence as before failure
+	// domains existed.
+	failuresOn bool
+	health     []Health
+	down       []bool
+	missed     []int
+	generation []int
+	mtbf       []time.Duration
+	lastCrash  []audit.Snapshot
+	procs      []map[int]*sim.Proc
+	ledger     audit.Ledger
+	recoveries []Recovery
+	hostCrashes, daemonCrashes, lostStarts, lostPods int
 }
 
 // New boots the fleet: one shared kernel, the optional tracer first (so its
@@ -178,7 +198,7 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 
-	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed), totals: stats.NewSample()}
+	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed), totals: stats.NewSample(), baseOpts: base}
 	if cfg.Trace {
 		f.Tracer = trace.Attach(f.K)
 	}
@@ -212,6 +232,15 @@ func New(cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: host %d: %w", i, err)
 		}
 		f.Hosts[i] = h
+	}
+
+	// Failure domains arm only for plans with host-scoped crash clauses:
+	// the heartbeat monitor and crash injectors add kernel events, so
+	// clause-free runs must not see them.
+	if cfg.Faults.HasHostFaults() {
+		if err := f.initFailureDomains(); err != nil {
+			return nil, err
+		}
 	}
 
 	if cfg.Metrics {
@@ -276,6 +305,9 @@ func (f *Fleet) States() []HostState {
 			QueueDepth: f.queues[i].Depth(),
 			MembwBusy:  f.membw[i].Busy(),
 		}
+		if f.health != nil {
+			out[i].Health = f.health[i]
+		}
 	}
 	return out
 }
@@ -290,6 +322,12 @@ func (f *Fleet) Inflight() int { return f.totalInflight }
 func (f *Fleet) FreeVFHeadroom() int {
 	total := 0
 	for _, st := range f.States() {
+		if st.Health != HealthUp {
+			// A crashed or recovering host contributes no admission capacity:
+			// this is how the serving layer's admission control sees the
+			// fleet shrink the moment the heartbeat monitor flags an outage.
+			continue
+		}
 		if h := st.Headroom(); h > 0 {
 			total += h
 		}
@@ -337,9 +375,27 @@ type Result struct {
 	Failed   int
 	Rejected int
 
+	// Failure-domain accounting (all zero/nil on host-clause-free plans).
+	// HostCrashes and DaemonCrashes count clause firings; LostStarts counts
+	// dispatches that hit a dead host inside the detection window;
+	// LostPods counts live pods destroyed by crashes; Recoveries records
+	// each completed host recovery with its readiness delay.
+	HostCrashes   int
+	DaemonCrashes int
+	LostStarts    int
+	LostPods      int
+	Recoveries    []Recovery
+	// Ledger is the LostToCrash ledger: one entry per dead host generation
+	// (nil when no host crashed). Leaks already accounts for it — see
+	// Finish.
+	Ledger *audit.Ledger
+
 	// PerHost holds each host's conservation report and Leaks the
 	// fleet-wide aggregate (sum of baselines vs sum of finals); both nil
-	// unless Config.Audit.
+	// unless Config.Audit. Under host crashes the aggregate is ledger-
+	// adjusted: dead generations contribute their crash snapshots and lost
+	// state explicitly, so Leaks still closes to zero when the surviving
+	// generations are clean.
 	PerHost []*audit.Report
 	Leaks   *audit.Report
 
@@ -382,6 +438,31 @@ func (r *Result) MaxQueuePeak() int {
 	return max
 }
 
+// MaxRecovery is the longest readiness delay any host recovery paid —
+// the availability experiment's headline number per baseline (vanilla's
+// full-pool re-zeroing cliff vs FastIOV's near-flat reload).
+func (r *Result) MaxRecovery() time.Duration {
+	var max time.Duration
+	for _, rec := range r.Recoveries {
+		if rec.Took > max {
+			max = rec.Took
+		}
+	}
+	return max
+}
+
+// MeanRecovery averages the recovery readiness delays (0 with none).
+func (r *Result) MeanRecovery() time.Duration {
+	if len(r.Recoveries) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, rec := range r.Recoveries {
+		sum += rec.Took
+	}
+	return sum / time.Duration(len(r.Recoveries))
+}
+
 // CleanPerHost reports whether every per-host audit came back clean (false
 // when unaudited).
 func (r *Result) CleanPerHost() bool {
@@ -418,6 +499,16 @@ func (r *Result) Canonical() []byte {
 			b = fmt.Appendf(b, "fault %s occ=%d inj=%d\n", st.Site, st.Occurrences, st.Injected)
 		}
 	}
+	// Failure-domain lines render only when a crash actually fired, keeping
+	// clause-free output byte-identical to pre-failure-domain builds.
+	if r.HostCrashes > 0 || r.DaemonCrashes > 0 {
+		b = fmt.Appendf(b, "crashes host=%d daemon=%d lost-starts=%d lost-pods=%d\n",
+			r.HostCrashes, r.DaemonCrashes, r.LostStarts, r.LostPods)
+		for _, rec := range r.Recoveries {
+			b = fmt.Appendf(b, "recover host=%d gen=%d at=%d took=%d\n",
+				rec.Host, rec.Generation, rec.At, rec.Took)
+		}
+	}
 	return b
 }
 
@@ -431,6 +522,11 @@ func (r *Result) Fingerprint() []byte {
 		b = fmt.Appendf(b, "leaks %d\n", r.Leaks.Count())
 		for _, l := range r.Leaks.Leaks {
 			b = fmt.Appendf(b, "leak %s %d %d\n", l.Resource, l.Before, l.After)
+		}
+	}
+	if r.Ledger.Len() > 0 {
+		for _, e := range r.Ledger.Entries {
+			b = fmt.Appendf(b, "lost host=%d gen=%d at=%d %+v\n", e.Host, e.Generation, e.At, e.Lost())
 		}
 	}
 	if r.Trace != nil {
@@ -447,24 +543,42 @@ func (r *Result) Fingerprint() []byte {
 // placement, and — when a host is in capacity — runs the full startup
 // there, maintaining the in-flight counts, placement tallies, the
 // fleet-wide latency sample, and the surviving-sandbox list the closing
-// audit tears down. host is -1 when the policy found no eligible host (no
-// state changed, err nil); otherwise took is the end-to-end startup time
-// and err the startup outcome (fault failures are counted on the fleet,
-// genuine errors recorded and surfaced from Finish). Dispatch is the hook
-// the serving control plane drives; Run places every request through it.
+// audit tears down. host is -1 when the policy rejected placement (no
+// state changed; err carries the reject reason, ErrAllHostsDown or
+// ErrNoCapacity); host >= 0 with ErrHostDown means the placement landed on
+// a host that crashed inside the heartbeat detection window — the start is
+// lost, not begun (the serving layer reroutes these). Otherwise took is
+// the end-to-end startup time and err the startup outcome (fault failures
+// are counted on the fleet, genuine errors recorded and surfaced from
+// Finish). Dispatch is the hook the serving control plane drives; Run
+// places every request through it.
 func (f *Fleet) Dispatch(p *sim.Proc, id int) (host int, sb *cri.Sandbox, took time.Duration, err error) {
-	pick := f.Sched.Place(f.States())
-	if pick < 0 || pick >= len(f.Hosts) {
-		return -1, nil, 0, nil
+	pick, perr := f.Sched.Place(f.States())
+	if perr != nil || pick < 0 || pick >= len(f.Hosts) {
+		return -1, nil, 0, perr
+	}
+	if f.down != nil && f.down[pick] {
+		// Detection window: the heartbeat view still says up but the host is
+		// already dead. The dispatch is lost to the crash.
+		f.lostStarts++
+		return pick, nil, 0, ErrHostDown
 	}
 	f.started++
 	f.placements[pick]++
 	f.inflight[pick]++
 	f.totalInflight++
+	// Deferred (not inline after StartOne) so the count stays right when a
+	// host crash kills this proc mid-start.
+	defer func() {
+		f.inflight[pick]--
+		f.totalInflight--
+	}()
+	if f.procs != nil {
+		f.trackStart(pick, p)
+		defer f.untrackStart(pick, p)
+	}
 	began := p.Now()
 	sb, err = f.Hosts[pick].StartOne(p, id)
-	f.inflight[pick]--
-	f.totalInflight--
 	if err != nil {
 		if fault.IsFault(err) {
 			f.failed++
@@ -493,12 +607,24 @@ func (f *Fleet) Release(p *sim.Proc, host int, sb *cri.Sandbox) {
 	for i, s := range sbs {
 		if s == sb {
 			f.live[host] = append(sbs[:i], sbs[i+1:]...)
-			break
+			if f.procs != nil {
+				// A teardown in flight joins the host's kill set: if the
+				// host crashes mid-stop, this proc must die with the lock
+				// holders it shares the devset with, or it blocks forever
+				// on a handoff the crash stranded. Whatever the teardown
+				// had not yet returned lands on the LostToCrash ledger.
+				f.trackStart(host, p)
+				defer f.untrackStart(host, p)
+			}
+			if err := f.Hosts[host].Eng.StopPodSandbox(p, sb); err != nil {
+				f.errs = append(f.errs, err)
+			}
+			return
 		}
 	}
-	if err := f.Hosts[host].Eng.StopPodSandbox(p, sb); err != nil {
-		f.errs = append(f.errs, err)
-	}
+	// Not on the live list: the pod was destroyed by a host crash (its loss
+	// is on the ledger) and the host — possibly a fresh generation by now —
+	// has nothing to release.
 }
 
 // Run places Cfg.Requests container starts across the fleet and runs the
@@ -546,6 +672,14 @@ func (f *Fleet) Finish() *Result {
 	res.Started = f.started
 	res.Failed = f.failed
 	res.Rejected = f.rejected
+	res.HostCrashes = f.hostCrashes
+	res.DaemonCrashes = f.daemonCrashes
+	res.LostStarts = f.lostStarts
+	res.LostPods = f.lostPods
+	res.Recoveries = append([]Recovery(nil), f.recoveries...)
+	if f.ledger.Len() > 0 {
+		res.Ledger = &f.ledger
+	}
 	res.Placements = append([]int(nil), f.placements...)
 	res.QueuePeaks = make([]int, len(f.Hosts))
 	res.MembwBusy = make([]time.Duration, len(f.Hosts))
@@ -594,10 +728,28 @@ func (f *Fleet) Finish() *Result {
 		res.PerHost = make([]*audit.Report, len(f.Hosts))
 		for i, h := range f.Hosts {
 			baselines[i] = h.Baseline
+			if f.down != nil && f.down[i] {
+				// A host that died and never recovered: the ledger owns its
+				// boot-to-crash delta, and nothing moved after the crash, so
+				// the per-host report diffs the crash snapshot against now —
+				// clean exactly when the corpse was left untouched.
+				baselines[i] = f.lastCrash[i]
+			}
 			finals[i] = h.AuditSnapshot()
 			res.PerHost[i] = audit.NewReport(baselines[i], finals[i])
 		}
-		res.Leaks = audit.NewReport(audit.Sum(baselines...), audit.Sum(finals...))
+		base := audit.Sum(baselines...)
+		fin := audit.Sum(finals...)
+		if f.ledger.Len() > 0 {
+			// Ledger-adjusted conservation: every dead generation's boot
+			// baseline joins the "before" side, and its crash snapshot plus
+			// the explicitly-lost delta join the "after" side. Base equals
+			// AtCrash + Lost per entry, so the fleet-wide report closes to
+			// zero iff the surviving generations leak nothing.
+			base = audit.Sum(base, f.ledger.BaseTotal())
+			fin = audit.Sum(fin, f.ledger.AtCrashTotal(), f.ledger.LostTotal())
+		}
+		res.Leaks = audit.NewReport(base, fin)
 	}
 
 	res.FaultStats = mergeFaultStats(f.Hosts)

@@ -8,11 +8,35 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"fastiov/internal/sim"
 )
+
+// Placement reject reasons. Every policy distinguishes "nothing is alive"
+// from "everything alive is full": the serving layer treats the former as
+// an outage (reroute/requeue) and the latter as backpressure.
+var (
+	// ErrAllHostsDown rejects placement because zero hosts are in service
+	// (Health == HealthUp).
+	ErrAllHostsDown = errors.New("fleet: no host in service")
+	// ErrNoCapacity rejects placement because every in-service host is out
+	// of VF admission headroom.
+	ErrNoCapacity = errors.New("fleet: every in-service host is at capacity")
+)
+
+// rejectReason classifies a failed placement: ErrNoCapacity when at least
+// one host is up but full, ErrAllHostsDown otherwise.
+func rejectReason(hosts []HostState) error {
+	for _, h := range hosts {
+		if h.Health == HealthUp {
+			return ErrNoCapacity
+		}
+	}
+	return ErrAllHostsDown
+}
 
 // Policy names, in presentation order.
 const (
@@ -45,6 +69,10 @@ type HostState struct {
 	// MembwBusy is the host's accumulated zeroing-bandwidth busy integral
 	// in stream-time (event-driven; the §3.3 bandwidth-pressure signal).
 	MembwBusy time.Duration
+	// Health is the host's failure-domain state (see Health). The zero
+	// value is HealthUp, so states built without failure tracking are
+	// schedulable unchanged.
+	Health Health
 }
 
 // Headroom is the host's remaining VF admission capacity: free VFs minus
@@ -53,8 +81,12 @@ type HostState struct {
 // counted twice until it finishes — which only errs toward rejecting late.
 func (s HostState) Headroom() int { return s.FreeVFs - s.Inflight }
 
-// Eligible reports whether the host can admit one more start.
+// Eligible reports whether the host can admit one more start: it must be
+// in service (up) and have VF admission headroom.
 func (s HostState) Eligible() bool {
+	if s.Health != HealthUp {
+		return false
+	}
 	if s.CapVFs == 0 {
 		return true
 	}
@@ -65,17 +97,22 @@ func (s HostState) Eligible() bool {
 type Scheduler interface {
 	// Name returns the policy name.
 	Name() string
-	// Place returns the index of the chosen host, or -1 to reject the
-	// request (no host in capacity). Implementations must never panic and
-	// must only return -1 or a valid, eligible index into hosts.
-	Place(hosts []HostState) int
+	// Place returns the index of the chosen host, or (-1, err) to reject
+	// the request with a reason — ErrAllHostsDown when zero hosts are in
+	// service, ErrNoCapacity when the in-service hosts are full.
+	// Implementations must never panic and must only return a valid,
+	// eligible index or an explicit reject.
+	Place(hosts []HostState) (int, error)
 }
 
 // NewScheduler builds the named policy. The PRNG stream is consumed only by
-// the random policy; deterministic policies ignore it.
+// the random policy, which requires one; deterministic policies ignore it.
 func NewScheduler(name string, rng *sim.Rand) (Scheduler, error) {
 	switch name {
 	case PolicyRandom:
+		if rng == nil {
+			return nil, fmt.Errorf("fleet: policy %q requires a PRNG stream", name)
+		}
 		return &randomSched{rng: rng}, nil
 	case PolicyRoundRobin:
 		return &rrSched{}, nil
@@ -94,7 +131,7 @@ type randomSched struct {
 
 func (s *randomSched) Name() string { return PolicyRandom }
 
-func (s *randomSched) Place(hosts []HostState) int {
+func (s *randomSched) Place(hosts []HostState) (int, error) {
 	eligible := make([]int, 0, len(hosts))
 	for i, h := range hosts {
 		if h.Eligible() {
@@ -102,12 +139,9 @@ func (s *randomSched) Place(hosts []HostState) int {
 		}
 	}
 	if len(eligible) == 0 {
-		return -1
+		return -1, rejectReason(hosts)
 	}
-	if s.rng == nil {
-		return eligible[0]
-	}
-	return eligible[int(s.rng.Int63n(int64(len(eligible))))]
+	return eligible[int(s.rng.Int63n(int64(len(eligible))))], nil
 }
 
 // rrSched is round-robin bin-packing: it keeps filling the cursor host
@@ -119,9 +153,9 @@ type rrSched struct {
 
 func (s *rrSched) Name() string { return PolicyRoundRobin }
 
-func (s *rrSched) Place(hosts []HostState) int {
+func (s *rrSched) Place(hosts []HostState) (int, error) {
 	if len(hosts) == 0 {
-		return -1
+		return -1, ErrAllHostsDown
 	}
 	if s.cursor >= len(hosts) || s.cursor < 0 {
 		s.cursor = 0
@@ -130,10 +164,10 @@ func (s *rrSched) Place(hosts []HostState) int {
 		i := (s.cursor + off) % len(hosts)
 		if hosts[i].Eligible() {
 			s.cursor = i
-			return i
+			return i, nil
 		}
 	}
-	return -1
+	return -1, rejectReason(hosts)
 }
 
 // leastLoadedSched places on the eligible host with the fewest in-flight
@@ -142,7 +176,7 @@ type leastLoadedSched struct{}
 
 func (s *leastLoadedSched) Name() string { return PolicyLeastLoaded }
 
-func (s *leastLoadedSched) Place(hosts []HostState) int {
+func (s *leastLoadedSched) Place(hosts []HostState) (int, error) {
 	best := -1
 	for i, h := range hosts {
 		if !h.Eligible() {
@@ -152,7 +186,10 @@ func (s *leastLoadedSched) Place(hosts []HostState) int {
 			best = i
 		}
 	}
-	return best
+	if best < 0 {
+		return -1, rejectReason(hosts)
+	}
+	return best, nil
 }
 
 // vfAwareSched scores eligible hosts on the three passthrough-startup
@@ -185,7 +222,7 @@ func (s *vfAwareSched) score(h HostState) float64 {
 	return frac - float64(h.Inflight) - 2*float64(h.QueueDepth) - h.MembwBusy.Seconds()/8
 }
 
-func (s *vfAwareSched) Place(hosts []HostState) int {
+func (s *vfAwareSched) Place(hosts []HostState) (int, error) {
 	best := -1
 	bestScore := 0.0
 	for i, h := range hosts {
@@ -197,5 +234,8 @@ func (s *vfAwareSched) Place(hosts []HostState) int {
 			best, bestScore = i, sc
 		}
 	}
-	return best
+	if best < 0 {
+		return -1, rejectReason(hosts)
+	}
+	return best, nil
 }

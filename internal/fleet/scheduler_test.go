@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -20,10 +21,27 @@ func evenHosts(n int) []HostState {
 
 func TestSchedulerFixtures(t *testing.T) {
 	type tc struct {
-		name   string
-		hosts  []HostState
-		want   map[string]int // policy -> expected pick (-1 = reject)
-		anyOf  map[string][]int
+		name  string
+		hosts []HostState
+		want  map[string]int // policy -> expected pick (-1 = reject)
+		anyOf map[string][]int
+		// reason is the reject classification every policy must return on
+		// want == -1 cases.
+		reason error
+	}
+	allReject := map[string]int{
+		PolicyRandom:      -1,
+		PolicyRoundRobin:  -1,
+		PolicyLeastLoaded: -1,
+		PolicyVFAware:     -1,
+	}
+	allPick := func(i int) map[string]int {
+		return map[string]int{
+			PolicyRandom:      i,
+			PolicyRoundRobin:  i,
+			PolicyLeastLoaded: i,
+			PolicyVFAware:     i,
+		}
 	}
 	cases := []tc{
 		{
@@ -33,26 +51,59 @@ func TestSchedulerFixtures(t *testing.T) {
 				{Index: 0, CapVFs: 64, FreeVFs: 0},
 				{Index: 1, CapVFs: 64, FreeVFs: 32},
 			},
-			want: map[string]int{
-				PolicyRandom:      1,
-				PolicyRoundRobin:  1,
-				PolicyLeastLoaded: 1,
-				PolicyVFAware:     1,
-			},
+			want: allPick(1),
 		},
 		{
-			// Every host is out of capacity: every policy must reject.
+			// Every host is out of capacity: every policy must reject, and
+			// classify it as backpressure, not an outage.
 			name: "all-exhausted",
 			hosts: []HostState{
 				{Index: 0, CapVFs: 8, FreeVFs: 0},
 				{Index: 1, CapVFs: 8, FreeVFs: 2, Inflight: 2},
 			},
-			want: map[string]int{
-				PolicyRandom:      -1,
-				PolicyRoundRobin:  -1,
-				PolicyLeastLoaded: -1,
-				PolicyVFAware:     -1,
+			want:   allReject,
+			reason: ErrNoCapacity,
+		},
+		{
+			// Every host is out of service: every policy must return the
+			// explicit all-down reject — no panic, no silent host-0 fallback.
+			name: "all-hosts-down",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 64, FreeVFs: 64, Health: HealthDown},
+				{Index: 1, CapVFs: 64, FreeVFs: 64, Health: HealthDraining},
+				{Index: 2, CapVFs: 64, FreeVFs: 64, Health: HealthRecovering},
 			},
+			want:   allReject,
+			reason: ErrAllHostsDown,
+		},
+		{
+			// Zero hosts at all (an empty fleet snapshot) is the same outage.
+			name:   "no-hosts",
+			hosts:  nil,
+			want:   allReject,
+			reason: ErrAllHostsDown,
+		},
+		{
+			// One survivor: every policy must converge on it regardless of
+			// how much capacity the dead hosts advertise.
+			name: "single-survivor",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 256, FreeVFs: 256, Health: HealthDown},
+				{Index: 1, CapVFs: 8, FreeVFs: 4},
+				{Index: 2, CapVFs: 256, FreeVFs: 256, Health: HealthRecovering},
+			},
+			want: allPick(1),
+		},
+		{
+			// The lone in-service host is full: that's backpressure (the
+			// survivor exists), not an outage.
+			name: "survivor-full",
+			hosts: []HostState{
+				{Index: 0, CapVFs: 64, FreeVFs: 64, Health: HealthDown},
+				{Index: 1, CapVFs: 8, FreeVFs: 0},
+			},
+			want:   allReject,
+			reason: ErrNoCapacity,
 		},
 		{
 			// Host 0 carries a saturated membw busy integral: vf-aware must
@@ -114,8 +165,19 @@ func TestSchedulerFixtures(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if got := s.Place(c.hosts); got != want {
+				got, perr := s.Place(c.hosts)
+				if got != want {
 					t.Errorf("%s placed on %d, want %d", policy, got, want)
+				}
+				if want >= 0 && perr != nil {
+					t.Errorf("%s returned error %v on a placeable fleet", policy, perr)
+				}
+				if want < 0 {
+					if perr == nil {
+						t.Errorf("%s rejected without a reason", policy)
+					} else if c.reason != nil && !errors.Is(perr, c.reason) {
+						t.Errorf("%s reject reason = %v, want %v", policy, perr, c.reason)
+					}
 				}
 			}
 			for policy, allowed := range c.anyOf {
@@ -123,7 +185,7 @@ func TestSchedulerFixtures(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got := s.Place(c.hosts)
+				got, _ := s.Place(c.hosts)
 				ok := false
 				for _, a := range allowed {
 					if got == a {
@@ -138,6 +200,14 @@ func TestSchedulerFixtures(t *testing.T) {
 	}
 }
 
+// TestRandomPolicyRequiresStream: the silent host-0 fallback is gone — the
+// random policy without a PRNG stream is a construction error.
+func TestRandomPolicyRequiresStream(t *testing.T) {
+	if _, err := NewScheduler(PolicyRandom, nil); err == nil {
+		t.Fatal("NewScheduler(random, nil) succeeded, want error")
+	}
+}
+
 // TestRoundRobinBinPacks: the rr policy keeps filling its cursor host until
 // it runs out of headroom, then advances — bin-packing, not spraying.
 func TestRoundRobinBinPacks(t *testing.T) {
@@ -149,16 +219,41 @@ func TestRoundRobinBinPacks(t *testing.T) {
 		{Index: 0, CapVFs: 4, FreeVFs: 2},
 		{Index: 1, CapVFs: 4, FreeVFs: 4},
 	}
-	if got := s.Place(hosts); got != 0 {
+	if got, _ := s.Place(hosts); got != 0 {
 		t.Fatalf("first placement on %d, want 0", got)
 	}
 	hosts[0].Inflight = 2 // cursor host now full
-	if got := s.Place(hosts); got != 1 {
+	if got, _ := s.Place(hosts); got != 1 {
 		t.Fatalf("second placement on %d, want 1 after host 0 filled", got)
 	}
 	hosts[0].Inflight = 0 // host 0 drains, but the cursor stays on 1
-	if got := s.Place(hosts); got != 1 {
+	if got, _ := s.Place(hosts); got != 1 {
 		t.Fatalf("third placement on %d, want cursor host 1", got)
+	}
+}
+
+// TestRoundRobinSkipsDownCursor: a crash under the rr cursor must advance it
+// to the next in-service host, and a recovery makes the host placeable again.
+func TestRoundRobinSkipsDownCursor(t *testing.T) {
+	s, err := NewScheduler(PolicyRoundRobin, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []HostState{
+		{Index: 0, CapVFs: 4, FreeVFs: 4},
+		{Index: 1, CapVFs: 4, FreeVFs: 4},
+	}
+	if got, _ := s.Place(hosts); got != 0 {
+		t.Fatalf("first placement on %d, want 0", got)
+	}
+	hosts[0].Health = HealthDown
+	if got, _ := s.Place(hosts); got != 1 {
+		t.Fatalf("placement with cursor host down on %d, want 1", got)
+	}
+	hosts[0].Health = HealthUp
+	hosts[1].Health = HealthDown
+	if got, _ := s.Place(hosts); got != 0 {
+		t.Fatalf("placement after recovery on %d, want 0", got)
 	}
 }
 
@@ -173,7 +268,7 @@ func TestRandomUsesInjectedStream(t *testing.T) {
 		hosts := evenHosts(8)
 		out := make([]int, 64)
 		for i := range out {
-			out[i] = s.Place(hosts)
+			out[i], _ = s.Place(hosts)
 		}
 		return out
 	}
@@ -192,15 +287,17 @@ func TestRandomUsesInjectedStream(t *testing.T) {
 	}
 }
 
-// FuzzSchedulerPlacement: under arbitrary host states, every policy must
-// return either an explicit reject (-1) or a valid index of an eligible
-// host — never panic, never go out of range, never over-place.
+// FuzzSchedulerPlacement: under arbitrary host states — including arbitrary
+// health mixes — every policy must return either an explicit, correctly
+// classified reject or a valid index of an eligible host: never panic,
+// never go out of range, never place onto a down host.
 func FuzzSchedulerPlacement(f *testing.F) {
-	f.Add(uint64(1), 4, 64, 64, 0, 0, int64(0))
-	f.Add(uint64(2), 1, 0, 0, 0, 0, int64(0))
-	f.Add(uint64(3), 9, 8, -3, 12, 40, int64(90*time.Second))
-	f.Add(uint64(4), 0, 0, 0, 0, 0, int64(-5))
-	f.Fuzz(func(t *testing.T, seed uint64, n, capVFs, freeVFs, inflight, qdepth int, busy int64) {
+	f.Add(uint64(1), 4, 64, 64, 0, 0, int64(0), uint8(0))
+	f.Add(uint64(2), 1, 0, 0, 0, 0, int64(0), uint8(2))
+	f.Add(uint64(3), 9, 8, -3, 12, 40, int64(90*time.Second), uint8(1))
+	f.Add(uint64(4), 0, 0, 0, 0, 0, int64(-5), uint8(3))
+	f.Add(uint64(5), 12, 64, 64, 1, 2, int64(time.Second), uint8(9))
+	f.Fuzz(func(t *testing.T, seed uint64, n, capVFs, freeVFs, inflight, qdepth int, busy int64, health uint8) {
 		if n < 0 {
 			n = -n
 		}
@@ -217,6 +314,13 @@ func FuzzSchedulerPlacement(f *testing.F) {
 				Inflight:   inflight + int(rng.Int63n(64)),
 				QueueDepth: qdepth + int(rng.Int63n(64)) - 32,
 				MembwBusy:  time.Duration(busy) + time.Duration(rng.Int63n(int64(time.Minute))),
+				Health:     Health((uint64(health) + uint64(rng.Int63n(5))) % 5),
+			}
+		}
+		anyUp := false
+		for _, h := range hosts {
+			if h.Health == HealthUp {
+				anyUp = true
 			}
 		}
 		for _, policy := range Policies() {
@@ -225,14 +329,26 @@ func FuzzSchedulerPlacement(f *testing.F) {
 				t.Fatal(err)
 			}
 			for round := 0; round < 3; round++ { // stateful policies (rr cursor) get re-hit
-				got := s.Place(hosts)
+				got, perr := s.Place(hosts)
 				if got == -1 {
+					if perr == nil {
+						t.Fatalf("%s rejected without a reason", policy)
+					}
 					for _, h := range hosts {
 						if h.Eligible() {
 							t.Fatalf("%s rejected with eligible host %d available", policy, h.Index)
 						}
 					}
+					if anyUp && !errors.Is(perr, ErrNoCapacity) {
+						t.Fatalf("%s reject reason = %v with a host up, want ErrNoCapacity", policy, perr)
+					}
+					if !anyUp && !errors.Is(perr, ErrAllHostsDown) {
+						t.Fatalf("%s reject reason = %v with all hosts down, want ErrAllHostsDown", policy, perr)
+					}
 					continue
+				}
+				if perr != nil {
+					t.Fatalf("%s returned index %d AND error %v", policy, got, perr)
 				}
 				if got < 0 || got >= len(hosts) {
 					t.Fatalf("%s returned out-of-range index %d for %d hosts", policy, got, len(hosts))

@@ -165,6 +165,17 @@ func (w *ResourceWatch) update(at sim.Duration, delta int64) {
 	w.inUse += delta
 }
 
+// Reset zeroes the in-use level after advancing the busy integral to at.
+// A host crash kills procs that hold units without a release probe ever
+// firing; the fleet calls Reset at the crash instant so the integral stops
+// charging the dead holders and the recovered generation (whose primitives
+// reuse the scoped name) starts from an empty watch.
+func (w *ResourceWatch) Reset(at sim.Duration) {
+	w.busy += w.inUse * int64(at-w.last)
+	w.last = at
+	w.inUse = 0
+}
+
 // QueueWatch tracks the waiter-queue depth of every lock whose name matches
 // a prefix, via the probe stream: a Block on the lock enters the queue, a
 // contended Acquire (FIFO handoff, Waker != nil) leaves it. Peak is exact —
@@ -180,6 +191,11 @@ func (q *QueueWatch) Depth() int { return q.depth }
 
 // Peak returns the maximum waiter count observed.
 func (q *QueueWatch) Peak() int { return q.peak }
+
+// Reset zeroes the current depth, keeping the peak. A host crash kills
+// blocked waiters whose dequeue handoff never fires; the fleet calls Reset
+// at the crash instant so the corpses stop counting as queued.
+func (q *QueueWatch) Reset() { q.depth = 0 }
 
 // Registry is a set of instruments plus their sampled time series.
 type Registry struct {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -43,7 +44,24 @@ const (
 	// placeRetry is how long a dispatcher backs off when no host is in
 	// capacity before asking the placement policy again.
 	placeRetry = 5 * time.Millisecond
+	// retryIDBase offsets the fresh container ids rerouted attempts start
+	// under: a retried start is a new pod instance (new id, new ctr proc),
+	// exactly as a real control plane mints a new pod UID — and trace
+	// binding stays one proc per container. Request ids stay far below it.
+	retryIDBase = 1 << 20
 )
+
+// ReroutePolicy bounds crash rerouting (reusing the fault package's retry
+// discipline): backoffs long enough that the later attempts land after the
+// heartbeat monitor has flagged the dead host, so the scheduler stops
+// funneling retries back into the outage. The per-request give-up is
+// SLO-aware (see rerouteWait), so Timeout stays unset here.
+var ReroutePolicy = fault.Policy{
+	MaxAttempts: 6,
+	BaseDelay:   50 * time.Millisecond,
+	Multiplier:  2,
+	MaxDelay:    400 * time.Millisecond,
+}
 
 // Serving-plane instrument ids (registered when Config.Metrics is set).
 // They share the fleet registry's sampling grid, so the conservation
@@ -56,6 +74,10 @@ const (
 	MetricCompleted  = "serve_requests_completed_total"
 	MetricGood       = "serve_requests_good_total"
 	MetricQueueDepth = "serve_queue_depth"
+	// Crash-plane instruments, registered only under host-fault plans.
+	MetricCrashLost = "serve_requests_crash_lost_total"
+	MetricRerouted  = "serve_requests_rerouted_total"
+	MetricHeadroom  = "serve_admission_headroom_vfs"
 )
 
 // Config selects one serving run.
@@ -165,6 +187,15 @@ type Server struct {
 	arrived, admitted, shedAdmission, shedQueue int
 	inQueue, completed, failed, good           int
 
+	// Crash accounting (nonzero only under host-crash plans): crashLost
+	// counts start attempts lost to a host death (killed mid-start or
+	// dispatched into the detection window), rerouted the attempts retried
+	// after such a loss, and crashGiveups the admitted requests abandoned by
+	// the SLO-aware give-up (also counted in failed, so admitted ==
+	// completed + failed still closes). retrySeq mints fresh container ids
+	// for rerouted attempts.
+	crashLost, rerouted, crashGiveups, retrySeq int
+
 	// ewmaSec smooths observed startup seconds for the SLO-aware policy's
 	// dispatch-cost term.
 	ewmaSec float64
@@ -248,6 +279,16 @@ func (s *Server) registerMetrics(m *metrics.Registry) {
 		func() float64 { return float64(s.good) })
 	m.GaugeFunc(MetricQueueDepth, "requests waiting in the admission queue", nil,
 		func() float64 { return float64(s.inQueue) })
+	if s.Cfg.Faults.HasHostFaults() {
+		// Crash instruments register only under host-fault plans so metered
+		// fault-free runs keep their pre-failure-domain export bytes.
+		m.CounterFunc(MetricCrashLost, "start attempts lost to host crashes", nil,
+			func() float64 { return float64(s.crashLost) })
+		m.CounterFunc(MetricRerouted, "start attempts rerouted after a crash loss", nil,
+			func() float64 { return float64(s.rerouted) })
+		m.GaugeFunc(MetricHeadroom, "health-aware free-VF headroom the admission view sees", nil,
+			func() float64 { return float64(s.F.FreeVFHeadroom()) })
+	}
 }
 
 // view snapshots the control-plane state for a policy decision.
@@ -314,10 +355,8 @@ func (s *Server) arrive(p *sim.Proc, r *Request) {
 	s.q.Push(p, r)
 }
 
-// dispatcher is one serving worker: pop, revalidate, place on the fleet
-// (retrying while no host is in capacity), and account the completion. The
-// startup itself runs in a child proc named ctr-<id> so trace binding sees
-// the standard container proc names.
+// dispatcher is one serving worker: pop, revalidate, drive the start to
+// completion (rerouting across host deaths), and account the outcome.
 func (s *Server) dispatcher(p *sim.Proc) {
 	for {
 		r, ok := s.q.Pop(p)
@@ -333,15 +372,37 @@ func (s *Server) dispatcher(p *sim.Proc) {
 		}
 		s.admitted++
 		ts.Admitted++
+		s.startOne(p, r, ts)
+	}
+}
 
+// startOne drives one admitted request: place on the fleet (retrying while
+// no host is in capacity), detect attempts lost to a host crash, and
+// reroute them under the bounded ReroutePolicy backoff with an SLO-aware
+// give-up. The startup itself runs in a child proc named ctr-<id> so trace
+// binding sees the standard container proc names; rerouted attempts mint a
+// fresh id (a new pod instance).
+func (s *Server) startOne(p *sim.Proc, r *Request, ts *TenantStat) {
+	for attempt := 0; ; attempt++ {
+		id := r.ID
+		if attempt > 0 {
+			id = retryIDBase + s.retrySeq
+			s.retrySeq++
+		}
 		var host int
 		var sb *cri.Sandbox
 		var took time.Duration
 		var err error
-		child := s.F.K.Go(fmt.Sprintf("ctr-%d", r.ID), func(cp *sim.Proc) {
+		done := false
+		child := s.F.K.Go(fmt.Sprintf("ctr-%d", id), func(cp *sim.Proc) {
 			for {
-				host, sb, took, err = s.F.Dispatch(cp, r.ID)
-				if host >= 0 {
+				host, sb, took, err = s.F.Dispatch(cp, id)
+				if host >= 0 || errors.Is(err, fleet.ErrAllHostsDown) {
+					// Placed (or lost/failed on a host), or a fleet-wide
+					// outage the reroute loop must back off from. Capacity
+					// rejects keep the fast placeRetry poll: churn frees VFs
+					// on millisecond scales.
+					done = true
 					return
 				}
 				cp.Sleep(placeRetry)
@@ -349,18 +410,41 @@ func (s *Server) dispatcher(p *sim.Proc) {
 		})
 		p.Join(child)
 
+		if !done || errors.Is(err, fleet.ErrHostDown) {
+			// The attempt died with its host: either the crash killed the
+			// child mid-start (!done — the VF state it held is on the
+			// LostToCrash ledger) or the dispatch landed on a dead host
+			// inside the heartbeat detection window.
+			s.crashLost++
+			if !s.rerouteWait(p, r, attempt) {
+				s.giveUp(ts)
+				return
+			}
+			s.rerouted++
+			continue
+		}
+		if errors.Is(err, fleet.ErrAllHostsDown) {
+			// Every host is out of service: back off toward recovery
+			// instead of hot-polling a dark fleet.
+			if !s.rerouteWait(p, r, attempt) {
+				s.giveUp(ts)
+				return
+			}
+			s.rerouted++
+			continue
+		}
 		if err != nil {
 			// Fault-injected failures are accounted; genuine errors are
 			// recorded on the fleet and surface from Finish.
 			s.failed++
 			ts.Failed++
-			continue
+			return
 		}
 		if s.Cfg.Lifetime >= 0 {
 			// Retire the pod after its lifetime: the VF detaches on a live
 			// host while new starts attach — the churn regime.
-			host, sb := host, sb
-			s.F.K.Go(fmt.Sprintf("pod-%d", r.ID), func(pp *sim.Proc) {
+			host, sb, id := host, sb, id
+			s.F.K.Go(fmt.Sprintf("pod-%d", id), func(pp *sim.Proc) {
 				pp.Sleep(s.Cfg.Lifetime)
 				s.F.Release(pp, host, sb)
 			})
@@ -379,7 +463,42 @@ func (s *Server) dispatcher(p *sim.Proc) {
 		} else {
 			s.ewmaSec = (1-alpha)*s.ewmaSec + alpha*took.Seconds()
 		}
+		return
 	}
+}
+
+// rerouteWait decides whether a crash-lost attempt retries: false once
+// ReroutePolicy's attempts exhaust or the request's SLO budget (measured
+// from its arrival) is spent — completing after the deadline would miss the
+// SLO anyway, so the request is better abandoned than rerouted late. On
+// true it has already slept the policy backoff (deterministic, no jitter
+// stream). Mirrors fault.Do's clamp: a backoff crossing the deadline sleeps
+// only to the deadline and gives up there.
+func (s *Server) rerouteWait(p *sim.Proc, r *Request, attempt int) bool {
+	if attempt+1 >= ReroutePolicy.MaxAttempts {
+		return false
+	}
+	deadline := s.t0 + r.At + s.Cfg.SLO
+	remaining := deadline - p.Now()
+	if remaining <= 0 {
+		return false
+	}
+	wait := ReroutePolicy.Delay(attempt+1, nil)
+	if wait >= remaining {
+		p.Sleep(remaining)
+		return false
+	}
+	p.Sleep(wait)
+	return true
+}
+
+// giveUp abandons an admitted request after crash losses: counted as a
+// failure (conservation: admitted == completed + failed) and separately as
+// a crash give-up.
+func (s *Server) giveUp(ts *TenantStat) {
+	s.crashGiveups++
+	s.failed++
+	ts.Failed++
 }
 
 // finish seals the run: fleet observers, audits, and the serving result.
@@ -406,6 +525,9 @@ func (s *Server) finish() *Result {
 		Good:          s.good,
 		Sojourns:      s.sojourns,
 		Tenants:       s.tenants,
+		CrashLost:     s.crashLost,
+		Rerouted:      s.rerouted,
+		CrashGiveups:  s.crashGiveups,
 		Fleet:         fres,
 		Err:           fres.Err,
 	}
@@ -435,6 +557,14 @@ type Result struct {
 	Sojourns *stats.Sample
 	// Tenants holds per-tenant accounting in canonical (name) order.
 	Tenants []*TenantStat
+
+	// Crash rerouting accounting, nonzero only under host-crash plans:
+	// CrashLost start attempts died with their host, Rerouted of those were
+	// retried, CrashGiveups admitted requests were abandoned (counted in
+	// Failed) once the retry budget or SLO headroom ran out.
+	CrashLost    int
+	Rerouted     int
+	CrashGiveups int
 
 	// Fleet is the underlying fleet result (placements, signals, audits,
 	// observers).
@@ -493,6 +623,10 @@ func (r *Result) header() []byte {
 		r.Baseline, r.Policy, r.PlacePolicy, r.Hosts, fmtRate(r.OfferedRate), r.Window, r.SLO)
 	b = fmt.Appendf(b, "arrived %d admitted %d shed-adm %d shed-queue %d completed %d failed %d good %d\n",
 		r.Arrived, r.Admitted, r.ShedAdmission, r.ShedQueue, r.Completed, r.Failed, r.Good)
+	if r.Fleet != nil && (r.Fleet.HostCrashes > 0 || r.Fleet.DaemonCrashes > 0) {
+		b = fmt.Appendf(b, "reroute lost=%d rerouted=%d gaveup=%d\n",
+			r.CrashLost, r.Rerouted, r.CrashGiveups)
+	}
 	for _, t := range r.Tenants {
 		b = fmt.Appendf(b, "tenant %s prio=%s arrived=%d admitted=%d shed=%d completed=%d failed=%d\n",
 			t.Name, t.Priority, t.Arrived, t.Admitted, t.Shed, t.Completed, t.Failed)

@@ -280,6 +280,35 @@ func (k *Kernel) abort() {
 	}
 }
 
+// Kill unwinds a single Proc without aborting the simulation: its coroutine
+// observes the cancelled yield at the park it is blocked in (or at its next
+// park, for a proc that has not yet started) and panics with abortSentinel,
+// which runBody converts into a clean exit — deferred cleanup runs, explicit
+// rollback closures do not. This models a crash: whatever the proc released
+// via defer is returned, everything else is stranded and must be accounted
+// for by the caller (see the fleet's LostToCrash ledger).
+//
+// Kill must be called from a running Proc (the baton holder) on a DIFFERENT
+// proc; killing the running proc would stop the coroutine currently
+// executing. Killing an already-finished proc is a no-op, so callers may
+// kill from stale handle lists without liveness checks.
+func (k *Kernel) Kill(p *Proc) {
+	if p.finished {
+		return
+	}
+	if p == k.running {
+		panic("sim: Kill of the running proc " + p.name)
+	}
+	if !p.started {
+		// The coroutine never ran; stop will not execute the body, so the
+		// exit bookkeeping must happen here (mirrors abort).
+		p.stop()
+		p.exit()
+		return
+	}
+	p.stop()
+}
+
 // runBody executes a Proc body. The abort sentinel unwinds silently; any
 // other panic is captured on the kernel and re-raised from Run in the
 // caller's goroutine (a panic inside a Proc coroutine would otherwise crash

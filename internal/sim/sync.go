@@ -65,19 +65,24 @@ func (m *Mutex) Unlock(p *Proc) {
 	if p.k.probing() {
 		p.k.emit(ProbeRelease, WaitMutex, m.name, p, nil, 0)
 	}
-	if len(m.waiters) == 0 {
-		m.owner = nil
+	// FIFO handoff: ownership transfers at the release instant, and the
+	// releaser is the causal source of the waiter's wake-up. Waiters that
+	// finished while parked (killed by a host crash) are skipped — handing
+	// ownership to a dead proc would strand the mutex forever.
+	for len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if next.finished {
+			continue
+		}
+		m.owner = next
+		if p.k.probing() {
+			p.k.emit(ProbeAcquire, WaitMutex, m.name, next, p, 0)
+		}
+		p.k.schedule(p.k.now, next)
 		return
 	}
-	next := m.waiters[0]
-	m.waiters = m.waiters[1:]
-	m.owner = next
-	// FIFO handoff: ownership transfers at the release instant, and the
-	// releaser is the causal source of the waiter's wake-up.
-	if p.k.probing() {
-		p.k.emit(ProbeAcquire, WaitMutex, m.name, next, p, 0)
-	}
-	p.k.schedule(p.k.now, next)
+	m.owner = nil
 }
 
 // Locked reports whether the mutex is currently held.
@@ -168,6 +173,11 @@ func (rw *RWMutex) Unlock(p *Proc) {
 // dispatch admits the next writer, or the next batch of readers, from the
 // head of the wait queue. Called with the lock free.
 func (rw *RWMutex) dispatch(p *Proc) {
+	// Waiters that finished while parked (killed by a host crash) are
+	// dropped without being granted the lock.
+	for len(rw.waiters) > 0 && rw.waiters[0].p.finished {
+		rw.waiters = rw.waiters[1:]
+	}
 	if len(rw.waiters) == 0 {
 		return
 	}
@@ -184,6 +194,9 @@ func (rw *RWMutex) dispatch(p *Proc) {
 	for len(rw.waiters) > 0 && !rw.waiters[0].write {
 		next := rw.waiters[0].p
 		rw.waiters = rw.waiters[1:]
+		if next.finished {
+			continue
+		}
 		rw.readers++
 		if p.k.probing() {
 			p.k.emit(ProbeAcquire, WaitRWRead, rw.name, next, p, 0)
@@ -258,7 +271,16 @@ func (r *Resource) Release(p *Proc, n int64) {
 	if p.k.probing() {
 		p.k.emit(ProbeRelease, WaitResource, r.name, p, nil, n)
 	}
-	for len(r.waitq) > 0 && r.inUse+r.waitq[0].n <= r.cap {
+	for len(r.waitq) > 0 {
+		// Waiters that finished while parked (killed by a host crash) are
+		// dropped without taking units — admitting them would leak capacity.
+		if r.waitq[0].p.finished {
+			r.waitq = r.waitq[1:]
+			continue
+		}
+		if r.inUse+r.waitq[0].n > r.cap {
+			break
+		}
 		w := r.waitq[0]
 		r.waitq = r.waitq[1:]
 		r.take(w.n)
@@ -393,13 +415,19 @@ func (q *Queue[T]) Push(p *Proc, v T) {
 		panic("sim: push to closed queue " + q.name)
 	}
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
+	// Skip waiters that finished while parked (killed by a host crash):
+	// waking a dead proc would silently lose the wakeup and strand the item.
+	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		if w.finished {
+			continue
+		}
 		if p.k.probing() {
 			p.k.emit(ProbeWake, WaitQueue, q.name, w, p, 0)
 		}
 		p.k.schedule(p.k.now, w)
+		break
 	}
 }
 
