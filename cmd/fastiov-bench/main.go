@@ -16,6 +16,10 @@
 //	fastiov-bench -serve -rate 64 -policy slo-aware
 //	fastiov-bench -serve -tenants "api:rate=40;batch:rate=20,prio=low"
 //	fastiov-bench -trace out.json -n 50
+//	fastiov-bench -slowatch
+//	fastiov-bench -serve -journeys -verify-determinism
+//	fastiov-bench -journey-trace j.json -journey-log j.jsonl -alerts alerts.txt \
+//	  -faults "host-crash@600ms:host=0;host-recover=300ms"
 //
 // With -n <= 0 every experiment runs at its paper-default parameters
 // (concurrency 200 for the headline results). -csv emits the table as CSV
@@ -95,6 +99,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		dashboard  = fs.Bool("dashboard", false, "print an ASCII host dashboard of one metered startup run and exit")
 		metricBase = fs.String("metrics-baseline", "vanilla", "baseline for -metrics/-metrics-csv/-dashboard")
 		snapshots  = fs.Bool("snapshots", true, "cache boot-prefix snapshots so scenarios sharing a boot clone it instead of re-simulating (results identical either way)")
+		journeys   = fs.Bool("journeys", false, "record per-request journey traces on every serving run (pure observation; reports render identically)")
+		jtracePath = fs.String("journey-trace", "", "write a Chrome trace-event JSON of one journey-traced serving run to this file and exit (load in ui.perfetto.dev)")
+		jlogPath   = fs.String("journey-log", "", "write the canonical JSONL span log of one journey-traced serving run to this file and exit")
+		alertsPath = fs.String("alerts", "", "write the alert engine's timeline of one journey-traced serving run to this file and exit")
+		alertRules = fs.String("alert-rules", "", "alert rule spec for -alerts and the slowatch experiment exports (empty = the default slo-burn + crash-seen rules)")
+		jbase      = fs.String("journey-baseline", "fastiov", "baseline for -journey-trace/-journey-log/-alerts")
+		slowatch   = fs.Bool("slowatch", false, "shorthand for -experiment slowatch")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -172,6 +183,63 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *jtracePath != "" || *jlogPath != "" || *alertsPath != "" {
+		// Journey export is a standalone mode, like -trace: one
+		// journey-traced serving run at the first seed, exported as a
+		// Perfetto track group, a JSONL span log, an alert timeline, or any
+		// combination — all cut from the same run.
+		rules := *alertRules
+		if rules == "" && *alertsPath != "" {
+			rules = fastiov.DefaultAlertRules
+		}
+		if err := fastiov.ValidateAlertRules(rules); err != nil {
+			fmt.Fprintln(stderr, "fastiov-bench: -alert-rules:", err)
+			return 2
+		}
+		cfg := fastiov.JourneyExportConfig{
+			Baseline:   *jbase,
+			Policy:     *policy,
+			Hosts:      *hosts,
+			Rate:       *rate,
+			FaultSpec:  *faults,
+			AlertRules: rules,
+			Seed:       fastiov.SeedList(*seeds)[0],
+		}
+		files := make(map[string]*os.File, 3)
+		writers := make([]io.Writer, 3)
+		for i, path := range []string{*jtracePath, *jlogPath, *alertsPath} {
+			if path == "" {
+				continue
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "fastiov-bench: -journey:", err)
+				return 1
+			}
+			files[path] = f
+			writers[i] = f
+		}
+		err := fastiov.WriteJourneyExports(cfg, writers[0], writers[1], writers[2])
+		for _, f := range files {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "fastiov-bench: -journey:", err)
+			return 1
+		}
+		for _, pair := range []struct{ path, what string }{
+			{*jtracePath, "Perfetto journey track group; load in ui.perfetto.dev"},
+			{*jlogPath, "canonical JSONL span log"},
+			{*alertsPath, "alert timeline"},
+		} {
+			if pair.path != "" {
+				fmt.Fprintf(stdout, "wrote %s (%s)\n", pair.path, pair.what)
+			}
+		}
+		return 0
+	}
 	if *contention {
 		*experiment = "contention"
 	}
@@ -188,7 +256,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *availRun {
 		*experiment = "availability"
 	}
-	if *experiment == "serving" || *experiment == "availability" {
+	if *slowatch {
+		*experiment = "slowatch"
+	}
+	if *experiment == "serving" || *experiment == "availability" || *experiment == "slowatch" {
 		servePolicy = *policy
 		*policy = ""
 	}
@@ -204,6 +275,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Seeds:             fastiov.SeedList(*seeds),
 		VerifyDeterminism: *verify,
 		FaultSpec:         *faults,
+		Journeys:          *journeys,
 		Fleet:             fastiov.FleetConfig{Hosts: *hosts, Policy: *policy},
 		Serve:             fastiov.ServeConfig{Hosts: *hosts, Policy: servePolicy, Tenants: *tenants, Rate: *rate},
 		Availability:      fastiov.AvailabilityConfig{MTBF: *mtbf},

@@ -28,6 +28,7 @@ import (
 	"fastiov/internal/experiments"
 	"fastiov/internal/fault"
 	"fastiov/internal/fleet"
+	"fastiov/internal/journey"
 	"fastiov/internal/locks"
 	"fastiov/internal/metrics"
 	"fastiov/internal/serve"
@@ -162,6 +163,14 @@ type RunConfig struct {
 	// byte-identically with metrics on or off; the sealed registries
 	// surface through the saturation experiment and StartupMetrics.
 	Metrics bool
+	// Journeys enables per-request journey tracing on every serving
+	// simulation the suite runs: each arrival mints a root span threaded
+	// through admission, queue wait, dispatch, placement, reroutes, the
+	// startup telemetry stages, and pod lifetime, and the determinism
+	// fingerprint gains a span-log digest. Reports render byte-identically
+	// with journeys on or off; the recorded spans surface through
+	// WriteJourneyExports.
+	Journeys bool
 	// Fleet sizes the fleet experiment (the cluster-level placement sweep):
 	// zero values keep the paper-scale defaults.
 	Fleet FleetConfig
@@ -279,6 +288,7 @@ func NewSuite(cfg RunConfig) *Suite {
 	x.SetVerify(cfg.VerifyDeterminism)
 	x.SetTrace(cfg.Trace)
 	x.SetMetrics(cfg.Metrics)
+	x.SetJourneys(cfg.Journeys)
 	x.SetFleet(cfg.Fleet.Hosts, cfg.Fleet.Policy)
 	x.SetServe(cfg.Serve.Hosts, cfg.Serve.Policy, cfg.Serve.Tenants, cfg.Serve.Rate)
 	x.SetAvailability(cfg.Availability.MTBF)
@@ -342,7 +352,7 @@ func (s *Suite) VerifyDeterminism(id string, n int) error {
 	// the pooled run used cached boot snapshots, the serial re-run boots
 	// every host from scratch (and vice versa), so the byte comparison
 	// also pins snapshot transparency end-to-end.
-	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Fleet: s.cfg.Fleet, Serve: s.cfg.Serve, Availability: s.cfg.Availability, DisableSnapshots: !s.cfg.DisableSnapshots})
+	serial := NewSuite(RunConfig{Workers: 1, Seeds: s.cfg.Seeds, FaultSpec: s.cfg.FaultSpec, Trace: s.cfg.Trace, Metrics: s.cfg.Metrics, Journeys: s.cfg.Journeys, Fleet: s.cfg.Fleet, Serve: s.cfg.Serve, Availability: s.cfg.Availability, DisableSnapshots: !s.cfg.DisableSnapshots})
 	rep2, err := serial.Run(id, n)
 	if err != nil {
 		return fmt.Errorf("%s: serial re-run: %w", id, err)
@@ -407,6 +417,110 @@ func StartupMetrics(baseline string, n int, seed uint64) (*MetricSet, error) {
 		return nil, res.Err
 	}
 	return res.Metrics, nil
+}
+
+// DefaultAlertRules is the alert rule set the slowatch experiment (and the
+// CLI's -alerts export) evaluate: a multi-window burn-rate page on the
+// sojourn SLO plus a fast-sustain ticket on crash-lost starts.
+const DefaultAlertRules = experiments.DefaultSlowatchRules
+
+// ValidateAlertRules parses an alert rule spec and reports the first
+// grammar error, if any. The grammar is semicolon-separated rules:
+//
+//	alert <name>: burnrate(<metric>, slo=<dur>, short=<win>, long=<win>) > <factor>
+//	alert <name>: value(<metric>) > <threshold> [for <dur>]
+//
+// Example:
+//
+//	alert slo-burn: burnrate(serve_sojourn_seconds, slo=2s, short=500ms, long=2s) > 0.25
+func ValidateAlertRules(spec string) error {
+	_, err := journey.ParseRules(spec)
+	return err
+}
+
+// JourneyExportConfig selects one journey-traced serving run for
+// WriteJourneyExports.
+type JourneyExportConfig struct {
+	// Baseline names the cluster baseline (default fastiov); Policy the
+	// admission policy (default slo-aware).
+	Baseline string
+	Policy   string
+	// Hosts sizes the fleet; <= 0 keeps the serving default.
+	Hosts int
+	// Rate pins the offered load in requests per second; <= 0 keeps the
+	// serving experiment's default ladder midpoint.
+	Rate float64
+	// FaultSpec injects a fault plan (see ValidateFaultSpec); empty is
+	// fault-free.
+	FaultSpec string
+	// AlertRules is the rule spec the simulated-time engine evaluates
+	// during the run; empty skips alerting (the alert-timeline export then
+	// renders no transitions from zero rules).
+	AlertRules string
+	// Seed drives the run (0 selects seed 1).
+	Seed uint64
+}
+
+// WriteJourneyExports runs one journey-traced serving window and writes up
+// to three artifacts from the same run: the Perfetto/Chrome trace-event
+// export of every request's journey (chrome), the canonical JSONL span log
+// (spanLog), and the alert engine's timeline (alerts). Any nil writer
+// skips its artifact. The bytes are a pure function of the config.
+func WriteJourneyExports(cfg JourneyExportConfig, chrome, spanLog, alerts io.Writer) error {
+	if cfg.Baseline == "" {
+		cfg.Baseline = cluster.BaselineFastIOV
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = serve.PolicySLOAware
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = experiments.DefaultServeRates[len(experiments.DefaultServeRates)/2]
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	scfg := serve.Config{
+		Baseline:  cfg.Baseline,
+		Policy:    cfg.Policy,
+		Hosts:     cfg.Hosts,
+		Rate:      cfg.Rate,
+		Seed:      cfg.Seed,
+		Journeys:  true,
+		Metrics:   cfg.AlertRules != "",
+		AlertSpec: cfg.AlertRules,
+		Audit:     true,
+	}
+	if cfg.FaultSpec != "" {
+		pl, err := fault.ParsePlan(cfg.FaultSpec)
+		if err != nil {
+			return fmt.Errorf("fastiov: fault spec: %w", err)
+		}
+		scfg.Faults = pl
+	}
+	res, err := serve.Run(scfg)
+	if err != nil {
+		return err
+	}
+	if chrome != nil {
+		if err := res.Journey.WriteChrome(chrome); err != nil {
+			return err
+		}
+	}
+	if spanLog != nil {
+		if err := res.Journey.WriteLog(spanLog); err != nil {
+			return err
+		}
+	}
+	if alerts != nil {
+		eng := res.Alerts
+		if eng == nil {
+			eng = journey.NewEngine(nil, nil, 0)
+		}
+		if err := eng.WriteTimeline(alerts); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Experiments returns the full suite at its default configuration (serial,

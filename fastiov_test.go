@@ -48,7 +48,7 @@ func TestExperimentSuiteComplete(t *testing.T) {
 		"abl-busscan", "abl-pagesize", "abl-scrubber", "abl-slotreset",
 		"future-vdpa", "bg-dataplane", "ext-arrivals", "chaos",
 		"contention", "recovery", "saturation", "fleet", "serving",
-		"availability",
+		"availability", "slowatch",
 	}
 	suite := Experiments()
 	if len(suite) != len(want) {

@@ -636,6 +636,21 @@ func (h *Host) StartOne(p *sim.Proc, id int) (*cri.Sandbox, error) {
 	return sb, nil
 }
 
+// StartupSpans returns the host recorder's telemetry stage spans for one
+// container, in recording order. The journey recorder copies these into a
+// request's trace eagerly at dispatch-completion time: a later host crash
+// replaces the host (and its recorder) with a fresh generation, so a
+// post-hoc read would lose pre-crash stages.
+func (h *Host) StartupSpans(id int) []telemetry.Span {
+	var out []telemetry.Span
+	for _, sp := range h.Rec.Spans() {
+		if sp.Container == id {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
 // startupWave starts n containers with globally unique ids base..base+n-1
 // (churn runs several waves on one host; ids must not collide across waves
 // for telemetry and trace binding).

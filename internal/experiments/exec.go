@@ -38,6 +38,11 @@ type Exec struct {
 	// registry on the result but render identically to unmetered runs; the
 	// saturation experiment pins metrics on regardless.
 	metrics bool
+	// journeys enables per-request journey tracing on every serving spec
+	// that does not pin its own setting. Journey-traced runs carry a span
+	// recorder on the result but render identically to untraced runs; the
+	// slowatch experiment pins journeys (and alert rules) on regardless.
+	journeys bool
 	// fleetHosts overrides the fleet experiment's host count (<= 0 selects
 	// the paper-scale default); fleetPolicy restricts it to one placement
 	// policy ("" sweeps all of them).
@@ -130,6 +135,11 @@ func (x *Exec) SetTrace(v bool) { x.trace = v }
 // that does not pin its own setting. Metrics participate in cache keys, so
 // metered and unmetered runs of the same scenario never share results.
 func (x *Exec) SetMetrics(v bool) { x.metrics = v }
+
+// SetJourneys enables per-request journey tracing for every serving spec
+// that does not pin its own setting. Journeys participate in cache keys, so
+// traced and untraced runs of the same scenario never share results.
+func (x *Exec) SetJourneys(v bool) { x.journeys = v }
 
 // SetFleet sizes the fleet experiment: hosts overrides the host count
 // (<= 0 keeps the paper-scale default) and policy restricts the sweep to

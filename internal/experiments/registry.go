@@ -119,6 +119,9 @@ func Registry() []Entry {
 		{"availability", "Fleet availability under host crash/recovery", func(x *Exec, n int) (*Report, error) {
 			return x.Availability(n)
 		}},
+		{"slowatch", "SLO watch: alert detection latency per incident", func(x *Exec, n int) (*Report, error) {
+			return x.Slowatch(n)
+		}},
 	}
 }
 

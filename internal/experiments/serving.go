@@ -37,15 +37,21 @@ type serveSpec struct {
 	// Faults pins this spec's fault plan; nil inherits the executor-wide
 	// plan (see startupSpec.Faults).
 	Faults *fault.Plan
-	// Trace and Metrics pin observability; nil inherits the executor-wide
-	// settings.
-	Trace   *bool
-	Metrics *bool
+	// Trace, Metrics, and Journeys pin observability; nil inherits the
+	// executor-wide settings.
+	Trace    *bool
+	Metrics  *bool
+	Journeys *bool
+	// Alerts is an optional alert-rule spec evaluated by the simulated-time
+	// engine during the run (requires Metrics); "" runs no engine.
+	Alerts string
 }
 
 func (s serveSpec) traced() bool { return s.Trace != nil && *s.Trace }
 
 func (s serveSpec) metered() bool { return s.Metrics != nil && *s.Metrics }
+
+func (s serveSpec) journeyed() bool { return s.Journeys != nil && *s.Journeys }
 
 // params canonically encodes the spec for the cache key.
 func (s serveSpec) params() string {
@@ -63,6 +69,12 @@ func (s serveSpec) params() string {
 	if s.metered() {
 		b.WriteString(" metrics")
 	}
+	if s.journeyed() {
+		b.WriteString(" journeys")
+	}
+	if s.Alerts != "" {
+		fmt.Fprintf(&b, " alerts=%s", s.Alerts)
+	}
 	return b.String()
 }
 
@@ -70,16 +82,18 @@ func (s serveSpec) params() string {
 // fleet, failing loudly on any leak — shed requests included.
 func (s serveSpec) run(seed uint64) (*serve.Result, error) {
 	res, err := serve.Run(serve.Config{
-		Baseline: s.Baseline,
-		Policy:   s.Policy,
-		Hosts:    s.Hosts,
-		Workload: s.Workload,
-		Rate:     s.Rate,
-		Seed:     seed,
-		Faults:   s.Faults,
-		Trace:    s.traced(),
-		Metrics:  s.metered(),
-		Audit:    true,
+		Baseline:  s.Baseline,
+		Policy:    s.Policy,
+		Hosts:     s.Hosts,
+		Workload:  s.Workload,
+		Rate:      s.Rate,
+		Seed:      seed,
+		Faults:    s.Faults,
+		Trace:     s.traced(),
+		Metrics:   s.metered(),
+		Journeys:  s.journeyed(),
+		AlertSpec: s.Alerts,
+		Audit:     true,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s rate=%g: %w", s.Baseline, s.Policy, s.Rate, err)
@@ -143,6 +157,16 @@ func (x *Exec) serves(specs []serveSpec) ([]*MultiServe, error) {
 		}
 		if sp.Metrics == nil {
 			mv := x.metrics
+			sp.Metrics = &mv
+		}
+		if sp.Journeys == nil {
+			jv := x.journeys
+			sp.Journeys = &jv
+		}
+		// Alert engines read the metrics registry; a spec that carries rules
+		// must carry metrics too, whatever the executor-wide default says.
+		if sp.Alerts != "" && !*sp.Metrics {
+			mv := true
 			sp.Metrics = &mv
 		}
 		for _, seed := range x.seeds {
@@ -258,7 +282,7 @@ func (x *Exec) Serving(n int) (*Report, error) {
 	rep := &Report{ID: "serving", Title: fmt.Sprintf(
 		"Admission-controlled serving: policy × baseline across offered load (%d hosts, %s window, SLO %s)",
 		hosts, serve.DefaultWindow, serve.DefaultSLO)}
-	t := stats.NewTable("baseline", "policy", "rate", "arrived", "shed%", "goodput", "p50", "p99", "p99.9", "fair")
+	t := stats.NewTable("baseline", "policy", "rate", "arrived", "shed%", "shed q/p/s/g", "goodput", "p50", "p99", "p99.9", "fair")
 	// p99 by (baseline, policy, rate) for the notes.
 	type key struct {
 		b, p string
@@ -277,6 +301,7 @@ func (x *Exec) Serving(n int) (*Report, error) {
 		t.AddRow(sp.Baseline, sp.Policy, rateLabel,
 			pri.Arrived,
 			fmt.Sprintf("%.1f", 100*pri.ShedRate()),
+			fmt.Sprintf("%d/%d/%d/%d", pri.ShedQueueFull, pri.ShedPolicy, pri.ShedQueue, pri.CrashGiveups),
 			pri.Goodput(),
 			m.Metric(func(r *serve.Result) time.Duration { return r.Sojourns.P50() }),
 			m.Metric(func(r *serve.Result) time.Duration { return r.Sojourns.P99() }),

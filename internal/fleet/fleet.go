@@ -115,6 +115,16 @@ type Config struct {
 	// admission-queue instruments so their series share the fleet's tick
 	// grid. The hook must only register read-only instruments.
 	RegisterMetrics func(*metrics.Registry)
+	// OnPlace, when set, is invoked at every successful placement decision
+	// instant — inside Dispatch, before the startup begins — with the
+	// chosen host's state snapshot and the scheduler's score for it
+	// (scored is false for policies that don't rank, e.g. random and
+	// round-robin). It must be a read-only observer: no simulated time, no
+	// PRNG, no substrate mutation. The journey recorder uses it to attach
+	// (host, score) to the request's placement span at the exact decision
+	// instant, which a post-hoc query could not reproduce once later
+	// placements have moved the state.
+	OnPlace func(at time.Duration, id int, st HostState, score float64, scored bool)
 }
 
 // withDefaults normalizes optional fields.
@@ -148,10 +158,12 @@ type Fleet struct {
 	queues  []*metrics.QueueWatch
 
 	// Placement bookkeeping, maintained by Dispatch.
-	inflight   []int
-	placements []int
+	inflight                                 []int
+	placements                               []int
 	totalInflight, started, failed, rejected int
-	startupHist *metrics.Histogram
+	startupHist                              *metrics.Histogram
+	// onPlace is the Config placement observer (nil when unset).
+	onPlace func(at time.Duration, id int, st HostState, score float64, scored bool)
 
 	// Measurement accumulators, maintained by Dispatch and drained by
 	// Finish: per-start latencies, surviving sandboxes per host (for the
@@ -168,16 +180,16 @@ type Fleet struct {
 	// carries host clauses — host-clause-free runs have none of this, so
 	// they schedule the exact same kernel event sequence as before failure
 	// domains existed.
-	failuresOn bool
-	health     []Health
-	down       []bool
-	missed     []int
-	generation []int
-	mtbf       []time.Duration
-	lastCrash  []audit.Snapshot
-	procs      []map[int]*sim.Proc
-	ledger     audit.Ledger
-	recoveries []Recovery
+	failuresOn                                       bool
+	health                                           []Health
+	down                                             []bool
+	missed                                           []int
+	generation                                       []int
+	mtbf                                             []time.Duration
+	lastCrash                                        []audit.Snapshot
+	procs                                            []map[int]*sim.Proc
+	ledger                                           audit.Ledger
+	recoveries                                       []Recovery
 	hostCrashes, daemonCrashes, lostStarts, lostPods int
 }
 
@@ -198,7 +210,7 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 
-	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed), totals: stats.NewSample(), baseOpts: base}
+	f := &Fleet{Cfg: cfg, K: sim.NewKernel(cfg.Seed), totals: stats.NewSample(), baseOpts: base, onPlace: cfg.OnPlace}
 	if cfg.Trace {
 		f.Tracer = trace.Attach(f.K)
 	}
@@ -553,9 +565,17 @@ func (r *Result) Fingerprint() []byte {
 // Finish). Dispatch is the hook the serving control plane drives; Run
 // places every request through it.
 func (f *Fleet) Dispatch(p *sim.Proc, id int) (host int, sb *cri.Sandbox, took time.Duration, err error) {
-	pick, perr := f.Sched.Place(f.States())
+	states := f.States()
+	pick, perr := f.Sched.Place(states)
 	if perr != nil || pick < 0 || pick >= len(f.Hosts) {
 		return -1, nil, 0, perr
+	}
+	if f.onPlace != nil {
+		score, scored := 0.0, false
+		if sc, ok := f.Sched.(Scorer); ok {
+			score, scored = sc.Score(states[pick]), true
+		}
+		f.onPlace(time.Duration(p.Now()), id, states[pick], score, scored)
 	}
 	if f.down != nil && f.down[pick] {
 		// Detection window: the heartbeat view still says up but the host is

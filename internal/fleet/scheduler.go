@@ -105,6 +105,15 @@ type Scheduler interface {
 	Place(hosts []HostState) (int, error)
 }
 
+// Scorer is optionally implemented by schedulers that rank hosts with a
+// numeric score. Journey tracing uses it to attach the chosen host's score
+// to the placement span; policies without a meaningful score (random,
+// round-robin) simply don't implement it.
+type Scorer interface {
+	// Score returns the ranking value Place maximizes for one host.
+	Score(h HostState) float64
+}
+
 // NewScheduler builds the named policy. The PRNG stream is consumed only by
 // the random policy, which requires one; deterministic policies ignore it.
 func NewScheduler(name string, rng *sim.Rand) (Scheduler, error) {
@@ -176,6 +185,9 @@ type leastLoadedSched struct{}
 
 func (s *leastLoadedSched) Name() string { return PolicyLeastLoaded }
 
+// Score ranks by negated in-flight load (Scorer).
+func (s *leastLoadedSched) Score(h HostState) float64 { return -float64(h.Inflight) }
+
 func (s *leastLoadedSched) Place(hosts []HostState) (int, error) {
 	best := -1
 	for i, h := range hosts {
@@ -212,6 +224,9 @@ func (s *leastLoadedSched) Place(hosts []HostState) (int, error) {
 type vfAwareSched struct{}
 
 func (s *vfAwareSched) Name() string { return PolicyVFAware }
+
+// Score is the ranking function Place maximizes (Scorer).
+func (s *vfAwareSched) Score(h HostState) float64 { return s.score(h) }
 
 // score is the ranking function Place maximizes.
 func (s *vfAwareSched) score(h HostState) float64 {

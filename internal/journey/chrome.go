@@ -1,0 +1,63 @@
+// Perfetto export: journeys render through the same Chrome trace-event
+// writer as the kernel trace, as a second process group ("request
+// journeys", pid 2) with one thread per request. Timestamps share the
+// kernel trace's clock (simulated microseconds since t=0), so loading a
+// journey export alongside a kernel trace export lines the two up.
+package journey
+
+import (
+	"fmt"
+	"io"
+
+	"fastiov/internal/trace"
+)
+
+// ChromePID is the journey track group's process id (the kernel trace
+// owns pid 1).
+const ChromePID = 2
+
+// ChromeEvents renders the recorded spans as Chrome trace events: process
+// and per-request thread metadata first, then one complete ("X") event per
+// span in canonical (trace, start, id) order, attributes as event args.
+func (r *Recorder) ChromeEvents() []trace.ChromeEvent {
+	events := []trace.ChromeEvent{{
+		Name: "process_name", Ph: "M", PID: ChromePID, TID: 0,
+		Args: map[string]string{"name": "request journeys"},
+	}}
+	order := r.canonicalOrder()
+	lastTrace := -1
+	for _, i := range order {
+		sp := &r.spans[i]
+		if sp.Trace != lastTrace {
+			events = append(events, trace.ChromeEvent{
+				Name: "thread_name", Ph: "M", PID: ChromePID, TID: sp.Trace,
+				Args: map[string]string{"name": fmt.Sprintf("req-%d", sp.Trace)},
+			})
+			lastTrace = sp.Trace
+		}
+	}
+	for _, i := range order {
+		sp := &r.spans[i]
+		ev := trace.ChromeEvent{
+			Name: sp.Name, Cat: "journey", Ph: "X",
+			TS: trace.US(sp.Start), Dur: trace.DurP(sp.Dur()),
+			PID: ChromePID, TID: sp.Trace,
+		}
+		if len(sp.Attrs) > 0 {
+			args := make(map[string]string, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Val
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChrome writes the journey track group as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) on its own or alongside a kernel
+// trace export.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return trace.WriteChromeEvents(w, r.ChromeEvents())
+}

@@ -79,17 +79,25 @@ func sparkline(series []float64, width int) string {
 			max = v
 		}
 	}
+	// Degenerate range (single sample or all-equal series): there is no
+	// vertical scale to map onto, so render a flat mid-level line for a
+	// nonzero value and a floor line for an all-zero one, instead of
+	// collapsing every constant series to the floor.
+	if max <= min {
+		lvl := 0
+		if max != 0 {
+			lvl = len(sparkRunes) / 2
+		}
+		return strings.Repeat(string(sparkRunes[lvl]), width)
+	}
 	var b strings.Builder
 	for _, v := range buckets {
-		lvl := 0
-		if max > min {
-			lvl = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
-			if lvl < 0 {
-				lvl = 0
-			}
-			if lvl >= len(sparkRunes) {
-				lvl = len(sparkRunes) - 1
-			}
+		lvl := int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= len(sparkRunes) {
+			lvl = len(sparkRunes) - 1
 		}
 		b.WriteRune(sparkRunes[lvl])
 	}

@@ -26,6 +26,7 @@ package metrics
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -117,6 +118,26 @@ func (in *instrument) value() float64 {
 	return in.fn()
 }
 
+// DefaultExemplarWindow is the exemplar replacement window: within one
+// window a bucket keeps the worst observation's trace, and a new window
+// starts fresh so stale exemplars from an old incident age out.
+const DefaultExemplarWindow = time.Second
+
+// Exemplar links a histogram bucket to the concrete request behind its
+// worst observation, so a p99.9 spike resolves to a journey trace ID.
+type Exemplar struct {
+	Trace int           // journey trace ID of the exemplified request
+	Value float64       // the observed value
+	At    time.Duration // simulated observation instant
+}
+
+// BucketExemplar is an exemplar plus the bucket it annotates.
+type BucketExemplar struct {
+	Bucket int     // bucket index (len(buckets) is the +Inf bucket)
+	Upper  float64 // bucket upper bound (+Inf for the last)
+	Exemplar
+}
+
 // Histogram is a fixed-bucket histogram. Observe is pure bookkeeping — no
 // simulated time, no PRNG — so instrumented code paths stay byte-identical.
 type Histogram struct {
@@ -124,6 +145,12 @@ type Histogram struct {
 	counts  []uint64  // len(buckets)+1, last is the +Inf bucket
 	sum     float64
 	total   uint64
+
+	// Exemplar state, allocated on first ObserveExemplar so plain
+	// histograms carry no exemplar bytes in any export.
+	ex       []Exemplar
+	exSet    []bool
+	exWindow time.Duration
 }
 
 // Observe records one observation.
@@ -134,11 +161,67 @@ func (h *Histogram) Observe(v float64) {
 	h.total++
 }
 
+// ObserveExemplar records one observation and offers (trace, at) as the
+// bucket's exemplar. The bucket keeps the worst (largest) observation per
+// DefaultExemplarWindow: an exemplar older than one window is replaced
+// outright, one within the window only by a worse observation.
+func (h *Histogram) ObserveExemplar(v float64, trace int, at time.Duration) {
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	if h.ex == nil {
+		h.ex = make([]Exemplar, len(h.counts))
+		h.exSet = make([]bool, len(h.counts))
+		h.exWindow = DefaultExemplarWindow
+	}
+	switch {
+	case !h.exSet[i]:
+	case at-h.ex[i].At >= h.exWindow: // new window — start fresh
+	case v > h.ex[i].Value: // worse within the window
+	default:
+		return
+	}
+	h.ex[i] = Exemplar{Trace: trace, Value: v, At: at}
+	h.exSet[i] = true
+}
+
+// Exemplars returns the per-bucket exemplars in bucket order (empty when
+// ObserveExemplar was never called).
+func (h *Histogram) Exemplars() []BucketExemplar {
+	var out []BucketExemplar
+	for i, set := range h.exSet {
+		if !set {
+			continue
+		}
+		upper := math.Inf(+1)
+		if i < len(h.buckets) {
+			upper = h.buckets[i]
+		}
+		out = append(out, BucketExemplar{Bucket: i, Upper: upper, Exemplar: h.ex[i]})
+	}
+	return out
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total }
 
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return h.sum }
+
+// CountAbove returns the number of observations above the largest bucket
+// upper bound <= v (exact when v is a bucket bound — pick SLO targets that
+// are; conservative otherwise).
+func (h *Histogram) CountAbove(v float64) uint64 {
+	var le uint64
+	for i, ub := range h.buckets {
+		if ub > v {
+			break
+		}
+		le += h.counts[i]
+	}
+	return h.total - le
+}
 
 // ResourceWatch tracks a sim.Resource through the probe stream, maintaining
 // the exact time-weighted busy integral (units x time): every acquire and
@@ -429,6 +512,37 @@ func (r *Registry) QueuePeak(prefix string) int {
 		}
 	}
 	return 0
+}
+
+// FamilyValue sums the live values of every instrument whose family name
+// (as registered, before sanitization) equals name — labels aggregate
+// away, so `serve_requests_shed_total{reason=...}` counters sum into one
+// shed rate. ok is false when no instrument has the family name. This is
+// the alert engine's read surface (journey.MetricSource).
+func (r *Registry) FamilyValue(name string) (float64, bool) {
+	var sum float64
+	found := false
+	for _, in := range r.insts {
+		if in.name == name {
+			sum += in.value()
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// FamilyBad returns the cumulative (above-SLO, total) observation counts
+// summed over every histogram in the named family, counting an
+// observation as bad when it exceeds the largest bucket bound <= slo.
+func (r *Registry) FamilyBad(name string, slo float64) (bad, total float64, ok bool) {
+	for _, in := range r.insts {
+		if in.name == name && in.kind == KindHistogram {
+			bad += float64(in.hist.CountAbove(slo))
+			total += float64(in.hist.Count())
+			ok = true
+		}
+	}
+	return bad, total, ok
 }
 
 // SeriesSummary digests one sampled series.

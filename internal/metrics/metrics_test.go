@@ -323,8 +323,24 @@ func TestSparkline(t *testing.T) {
 	if got := sparkline(nil, 10); got != "" {
 		t.Errorf("empty series -> %q", got)
 	}
-	if got := sparkline([]float64{5, 5, 5}, 10); got != "▁▁▁" {
-		t.Errorf("flat series = %q, want bottom blocks", got)
+	// Degenerate min==max ranges have no vertical scale: a flat nonzero
+	// series renders as a mid-level line (it used to collapse to the
+	// floor, indistinguishable from zero), a flat zero series stays on
+	// the floor, and both rules hold for single-sample series.
+	if got := sparkline([]float64{5, 5, 5}, 10); got != "▅▅▅" {
+		t.Errorf("flat nonzero series = %q, want mid blocks", got)
+	}
+	if got := sparkline([]float64{0, 0, 0}, 10); got != "▁▁▁" {
+		t.Errorf("flat zero series = %q, want bottom blocks", got)
+	}
+	if got := sparkline([]float64{3}, 10); got != "▅" {
+		t.Errorf("single nonzero sample = %q, want one mid block", got)
+	}
+	if got := sparkline([]float64{0}, 10); got != "▁" {
+		t.Errorf("single zero sample = %q, want one bottom block", got)
+	}
+	if got := sparkline([]float64{-2, -2}, 4); got != "▅▅" {
+		t.Errorf("flat negative series = %q, want mid blocks", got)
 	}
 	// A single spike must survive 2:1 downsampling (max-per-bucket).
 	got := sparkline([]float64{0, 0, 9, 0}, 2)

@@ -139,6 +139,19 @@ func (in *instrument) exportFamily() string {
 	return name
 }
 
+// renderExemplar renders a bucket's OpenMetrics exemplar suffix
+// (` # {trace_id="N"} value timestamp`), or "" when the bucket has none —
+// histograms that never saw ObserveExemplar export byte-identically to
+// before exemplars existed.
+func renderExemplar(h *Histogram, bucket int) string {
+	if h.exSet == nil || !h.exSet[bucket] {
+		return ""
+	}
+	ex := h.ex[bucket]
+	return fmt.Sprintf(` # {trace_id="%d"} %s %s`,
+		ex.Trace, formatValue(ex.Value), formatValue(ex.At.Seconds()))
+}
+
 // WriteOpenMetrics writes the registry as an OpenMetrics text snapshot.
 // Values are the sealed finals (or live values if the registry is not yet
 // sealed); families are emitted in lexical order so the snapshot is
@@ -182,12 +195,14 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 			var cum uint64
 			for i, ub := range h.buckets {
 				cum += h.counts[i]
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", e.family,
-					renderLabels(in.labels, Label{"le", formatValue(ub)}), cum)
+				fmt.Fprintf(&b, "%s_bucket%s %d%s\n", e.family,
+					renderLabels(in.labels, Label{"le", formatValue(ub)}), cum,
+					renderExemplar(h, i))
 			}
 			cum += h.counts[len(h.buckets)]
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", e.family,
-				renderLabels(in.labels, Label{"le", "+Inf"}), cum)
+			fmt.Fprintf(&b, "%s_bucket%s %d%s\n", e.family,
+				renderLabels(in.labels, Label{"le", "+Inf"}), cum,
+				renderExemplar(h, len(h.buckets)))
 			fmt.Fprintf(&b, "%s_sum%s %s\n", e.family, renderLabels(in.labels), formatValue(h.sum))
 			fmt.Fprintf(&b, "%s_count%s %d\n", e.family, renderLabels(in.labels), h.total)
 		}

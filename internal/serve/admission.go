@@ -154,6 +154,25 @@ func (tb *tokenBucket) Admit(r *Request, v View) bool {
 
 func (tb *tokenBucket) Revalidate(*Request, View) bool { return true }
 
+// Peek reads a tenant's fill level at now without draining or advancing
+// the bucket — the journey recorder attaches the pre-decision token state
+// to the admission span, and an observer must not perturb the decision an
+// immediately following take would make.
+func (tb *tokenBucket) Peek(tenant string, now time.Duration) (float64, bool) {
+	b := tb.buckets[tenant]
+	if b == nil {
+		return 0, false
+	}
+	tokens := b.tokens
+	if now > b.last {
+		tokens += b.rate * (now - b.last).Seconds()
+		if tokens > b.burst {
+			tokens = b.burst
+		}
+	}
+	return tokens, true
+}
+
 // sloAware estimates each request's sojourn and sheds the ones whose
 // priority-scaled budget is already spent — at arrival from the predicted
 // queue wait, and again at dispatch from the actually elapsed wait.
@@ -193,6 +212,13 @@ func (s *sloAware) estWait(v View) time.Duration {
 	}
 	wait += time.Duration(v.DevsetWaiters) * 20 * time.Millisecond
 	return wait
+}
+
+// Explain returns the components of the admission inequality — the
+// predicted wait plus startup EWMA against the priority-scaled budget —
+// for the journey recorder's admission span. Pure reads.
+func (s *sloAware) Explain(r *Request, v View) (est, budget time.Duration) {
+	return s.estWait(v) + v.StartupEWMA, s.budget(r.Priority)
 }
 
 func (s *sloAware) Admit(r *Request, v View) bool {

@@ -9,6 +9,7 @@ import (
 	"fastiov/internal/cri"
 	"fastiov/internal/fault"
 	"fastiov/internal/fleet"
+	"fastiov/internal/journey"
 	"fastiov/internal/metrics"
 	"fastiov/internal/sim"
 	"fastiov/internal/stats"
@@ -78,7 +79,22 @@ const (
 	MetricCrashLost = "serve_requests_crash_lost_total"
 	MetricRerouted  = "serve_requests_rerouted_total"
 	MetricHeadroom  = "serve_admission_headroom_vfs"
+	// MetricShedReason splits MetricShed (plus the reroute give-ups, which
+	// conservation counts under failed) by reason label; MetricTenantShed
+	// adds the tenant dimension. The alerting engine and the serving
+	// experiment table both consume these.
+	MetricShedReason = "serve_requests_shed_reason_total"
+	MetricTenantShed = "serve_tenant_shed_total"
+	// MetricSojourn is the completed-request sojourn histogram; with
+	// journeys enabled its buckets carry trace-ID exemplars.
+	MetricSojourn = "serve_sojourn_seconds"
 )
+
+// ShedReasons lists the shed-reason labels in presentation order.
+var ShedReasons = []string{"queue-full", "policy", "stale-revalidation", "reroute-give-up"}
+
+// sojournBuckets mirrors the fleet startup histogram's bucket ladder.
+var sojournBuckets = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 32}
 
 // Config selects one serving run.
 type Config struct {
@@ -121,6 +137,19 @@ type Config struct {
 	Metrics        bool
 	MetricsCadence time.Duration
 	Audit          bool
+	// Journeys attaches the per-request journey recorder: every arrival
+	// mints a root span threaded through admission, queue wait, dispatch,
+	// placement, reroutes, the startup telemetry stages, and pod lifetime.
+	// Pure observation — a journey-traced run renders byte-identically to
+	// an untraced one.
+	Journeys bool
+	// AlertSpec is a journey.ParseRules rule set evaluated by a
+	// simulated-time daemon against the run's metrics registry (requires
+	// Metrics). Empty disables alerting.
+	AlertSpec string
+	// AlertInterval overrides the engine's evaluation tick (<= 0 selects
+	// journey.DefaultEvalInterval).
+	AlertInterval time.Duration
 }
 
 // withDefaults normalizes optional fields.
@@ -162,8 +191,16 @@ type TenantStat struct {
 	Arrived  int
 	Admitted int
 	Shed     int
-	Completed int
-	Failed    int
+	// Shed by reason: queue-full and policy shed at arrival (their sum is
+	// the tenant's share of ShedAdmission), stale-revalidation mid-queue.
+	// GiveUps are admitted requests abandoned after crash losses — counted
+	// under Failed, not Shed, so conservation still closes.
+	ShedQueueFull int
+	ShedPolicy    int
+	ShedStale     int
+	GiveUps       int
+	Completed     int
+	Failed        int
 	// Sojourns samples this tenant's completed requests' arrival-to-ready
 	// latency.
 	Sojourns *stats.Sample
@@ -184,8 +221,11 @@ type Server struct {
 	// Request accounting. Every transition happens inside one baton step,
 	// so arrived == admitted + shedAdmission + shedQueue + inQueue at every
 	// observable instant — the conservation invariant the tests sample.
+	// shedAdmission == shedQueueFull + shedPolicy; shedQueue is entirely
+	// stale-revalidation.
 	arrived, admitted, shedAdmission, shedQueue int
-	inQueue, completed, failed, good           int
+	shedQueueFull, shedPolicy                   int
+	inQueue, completed, failed, good            int
 
 	// Crash accounting (nonzero only under host-crash plans): crashLost
 	// counts start attempts lost to a host death (killed mid-start or
@@ -203,6 +243,28 @@ type Server struct {
 	sojourns *stats.Sample
 	tenants  []*TenantStat
 	byName   map[string]*TenantStat
+
+	// Journey state (nil unless Cfg.Journeys): the recorder, the open span
+	// handles per in-flight request, and the container-id index the fleet's
+	// OnPlace observer resolves attempts through.
+	jr   *journey.Recorder
+	jreq map[int]*jreq // request ID -> open spans
+	jctr map[int]*jreq // attempt container id -> its request's spans
+
+	// Alerting state (nil unless Cfg.AlertSpec is set): parsed rules, the
+	// fleet registry captured at registration, and the engine.
+	alertRules []journey.Rule
+	reg        *metrics.Registry
+	alerts     *journey.Engine
+
+	sojournHist *metrics.Histogram
+}
+
+// jreq tracks one admitted request's open journey spans across the procs
+// that touch it (arrival proc, dispatcher, the fleet's OnPlace observer).
+type jreq struct {
+	trace                              int
+	root, queueWait, dispatch, attempt int
 }
 
 // New parses the workload, draws the arrival schedule, boots the fleet, and
@@ -230,6 +292,20 @@ func New(cfg Config) (*Server, error) {
 		s.tenants = append(s.tenants, ts)
 		s.byName[t.Name] = ts
 	}
+	if cfg.Journeys {
+		s.jr = journey.NewRecorder()
+		s.jreq = make(map[int]*jreq)
+		s.jctr = make(map[int]*jreq)
+	}
+	if cfg.AlertSpec != "" {
+		if !cfg.Metrics {
+			return nil, fmt.Errorf("serve: alert rules require Metrics (the engine reads the sampled registry)")
+		}
+		s.alertRules, err = journey.ParseRules(cfg.AlertSpec)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s.pol, err = NewPolicy(cfg.Policy, PolicyConfig{
 		SLO:          cfg.SLO,
 		ContractRate: cfg.ContractPerHost * float64(cfg.Hosts),
@@ -243,7 +319,7 @@ func New(cfg Config) (*Server, error) {
 	if len(specs) == 0 {
 		specs = fleet.HeterogeneousSpecs(cfg.Hosts)
 	}
-	s.F, err = fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Baseline:       cfg.Baseline,
 		Policy:         cfg.PlacePolicy,
 		HostSpecs:      specs,
@@ -256,8 +332,30 @@ func New(cfg Config) (*Server, error) {
 		Audit:          cfg.Audit,
 		// Register the serving instruments before the fleet sampler starts,
 		// so their series share the fleet's tick grid.
-		RegisterMetrics: func(m *metrics.Registry) { s.registerMetrics(m) },
-	})
+		RegisterMetrics: func(m *metrics.Registry) { s.reg = m; s.registerMetrics(m) },
+	}
+	if cfg.Journeys {
+		// Attach the placement span at the scheduler's decision instant:
+		// the chosen host's state snapshot and score are only observable
+		// there, before later placements move them. Read-only.
+		fcfg.OnPlace = func(at time.Duration, id int, st fleet.HostState, score float64, scored bool) {
+			jq := s.jctr[id]
+			if jq == nil {
+				return
+			}
+			attrs := []journey.Attr{
+				journey.Int("host", st.Index),
+				journey.Int("free-vfs", st.FreeVFs),
+				journey.Int("inflight", st.Inflight),
+				journey.A("health", st.Health.String()),
+			}
+			if scored {
+				attrs = append(attrs, journey.F("score", score))
+			}
+			s.jr.Event(jq.trace, jq.attempt, "placement", at, attrs...)
+		}
+	}
+	s.F, err = fleet.New(fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +377,20 @@ func (s *Server) registerMetrics(m *metrics.Registry) {
 		func() float64 { return float64(s.good) })
 	m.GaugeFunc(MetricQueueDepth, "requests waiting in the admission queue", nil,
 		func() float64 { return float64(s.inQueue) })
+	// Shed reasons as labeled counters, fleet-wide and per tenant. The
+	// readers are closures over the same fields the aggregate uses, so the
+	// label sums reconcile exactly at every tick.
+	for _, reason := range ShedReasons {
+		m.CounterFunc(MetricShedReason, "requests shed, by reason (reroute-give-up is counted under failed)",
+			[]metrics.Label{{Key: "reason", Value: reason}}, s.shedReader(reason))
+		for _, ts := range s.tenants {
+			ts := ts
+			m.CounterFunc(MetricTenantShed, "per-tenant shed requests, by reason",
+				[]metrics.Label{{Key: "tenant", Value: ts.Name}, {Key: "reason", Value: reason}},
+				tenantShedReader(ts, reason))
+		}
+	}
+	s.sojournHist = m.NewHistogram(MetricSojourn, "completed-request sojourn (arrival to ready)", nil, sojournBuckets)
 	if s.Cfg.Faults.HasHostFaults() {
 		// Crash instruments register only under host-fault plans so metered
 		// fault-free runs keep their pre-failure-domain export bytes.
@@ -289,6 +401,52 @@ func (s *Server) registerMetrics(m *metrics.Registry) {
 		m.GaugeFunc(MetricHeadroom, "health-aware free-VF headroom the admission view sees", nil,
 			func() float64 { return float64(s.F.FreeVFHeadroom()) })
 	}
+}
+
+// shedReader returns the fleet-wide counter closure for one shed reason.
+func (s *Server) shedReader(reason string) func() float64 {
+	switch reason {
+	case "queue-full":
+		return func() float64 { return float64(s.shedQueueFull) }
+	case "policy":
+		return func() float64 { return float64(s.shedPolicy) }
+	case "stale-revalidation":
+		return func() float64 { return float64(s.shedQueue) }
+	default: // reroute-give-up
+		return func() float64 { return float64(s.crashGiveups) }
+	}
+}
+
+// tenantShedReader returns the per-tenant counter closure for one reason.
+func tenantShedReader(ts *TenantStat, reason string) func() float64 {
+	switch reason {
+	case "queue-full":
+		return func() float64 { return float64(ts.ShedQueueFull) }
+	case "policy":
+		return func() float64 { return float64(ts.ShedPolicy) }
+	case "stale-revalidation":
+		return func() float64 { return float64(ts.ShedStale) }
+	default: // reroute-give-up
+		return func() float64 { return float64(ts.GiveUps) }
+	}
+}
+
+// admissionAttrs renders the policy's decision state for the admission
+// span: the verdict plus policy-specific inputs (token fill for
+// token-bucket, predicted wait vs budget for slo-aware). Pure reads.
+func (s *Server) admissionAttrs(r *Request, v View) []journey.Attr {
+	attrs := []journey.Attr{journey.A("policy", s.pol.Name())}
+	switch p := s.pol.(type) {
+	case *tokenBucket:
+		if tokens, ok := p.Peek(r.Tenant, v.Now); ok {
+			attrs = append(attrs, journey.F("tokens", tokens))
+		}
+	case *sloAware:
+		est, budget := p.Explain(r, v)
+		attrs = append(attrs, journey.Dur("est-sojourn", est), journey.Dur("budget", budget))
+	}
+	attrs = append(attrs, journey.Int("queue-depth", v.QueueDepth), journey.Int("headroom", v.FreeVFHeadroom))
+	return attrs
 }
 
 // view snapshots the control-plane state for a policy decision.
@@ -314,6 +472,11 @@ func (s *Server) Run() *Result {
 	k := s.F.K
 	s.t0 = k.Now()
 
+	if s.alertRules != nil && s.reg != nil {
+		s.alerts = journey.NewEngine(s.alertRules, s.reg, s.Cfg.AlertInterval)
+		s.alerts.Start(k)
+	}
+
 	// Dispatchers park on the queue before the first arrival fires.
 	for d := 0; d < s.Cfg.Hosts*s.Cfg.Dispatchers; d++ {
 		k.Go(fmt.Sprintf("disp-%d", d), s.dispatcher)
@@ -338,21 +501,58 @@ func (s *Server) Run() *Result {
 // arrive handles one request at its arrival instant: count it, let the
 // policy (and the queue bound) decide, and either enqueue or shed.
 func (s *Server) arrive(p *sim.Proc, r *Request) {
+	now := p.Now()
 	s.arrived++
 	ts := s.byName[r.Tenant]
 	ts.Arrived++
+	root := -1
+	if s.jr != nil {
+		root = s.jr.Begin(r.ID, -1, "request", now,
+			journey.A("tenant", r.Tenant), journey.A("prio", r.Priority.String()))
+	}
+	v := s.view(now)
 	if s.Cfg.QueueCap > 0 && s.inQueue >= s.Cfg.QueueCap {
 		s.shedAdmission++
+		s.shedQueueFull++
 		ts.Shed++
+		ts.ShedQueueFull++
+		s.jShed(r, root, v, "queue-full", now)
 		return
 	}
-	if !s.pol.Admit(r, s.view(p.Now())) {
+	// Token/budget state must be read before Admit drains a token.
+	admitAttrs := []journey.Attr(nil)
+	if s.jr != nil {
+		admitAttrs = s.admissionAttrs(r, v)
+	}
+	if !s.pol.Admit(r, v) {
 		s.shedAdmission++
+		s.shedPolicy++
 		ts.Shed++
+		ts.ShedPolicy++
+		if s.jr != nil {
+			s.jr.Event(r.ID, root, "admission", now, append(admitAttrs,
+				journey.A("verdict", "shed"), journey.A("reason", "policy"))...)
+			s.jr.End(root, now, journey.A("outcome", "shed"), journey.A("reason", "policy"))
+		}
 		return
+	}
+	if s.jr != nil {
+		s.jr.Event(r.ID, root, "admission", now, append(admitAttrs, journey.A("verdict", "admit"))...)
+		qw := s.jr.Begin(r.ID, root, "queue-wait", now)
+		s.jreq[r.ID] = &jreq{trace: r.ID, root: root, queueWait: qw}
 	}
 	s.inQueue++
 	s.q.Push(p, r)
+}
+
+// jShed closes a just-minted root span for a request shed at arrival.
+func (s *Server) jShed(r *Request, root int, v View, reason string, now time.Duration) {
+	if s.jr == nil {
+		return
+	}
+	s.jr.Event(r.ID, root, "admission", now, append(s.admissionAttrs(r, v),
+		journey.A("verdict", "shed"), journey.A("reason", reason))...)
+	s.jr.End(root, now, journey.A("outcome", "shed"), journey.A("reason", reason))
 }
 
 // dispatcher is one serving worker: pop, revalidate, drive the start to
@@ -364,14 +564,31 @@ func (s *Server) dispatcher(p *sim.Proc) {
 			return
 		}
 		s.inQueue--
+		now := p.Now()
 		ts := s.byName[r.Tenant]
-		if !s.pol.Revalidate(r, s.view(p.Now())) {
+		jq := s.jreq[r.ID] // nil unless journeys are on
+		if jq != nil {
+			s.jr.End(jq.queueWait, now)
+		}
+		if !s.pol.Revalidate(r, s.view(now)) {
 			s.shedQueue++
 			ts.Shed++
+			ts.ShedStale++
+			if jq != nil {
+				s.jr.Event(jq.trace, jq.root, "revalidate", now,
+					journey.A("policy", s.pol.Name()), journey.A("verdict", "shed"),
+					journey.A("reason", "stale-revalidation"))
+				s.jr.End(jq.root, now, journey.A("outcome", "shed"),
+					journey.A("reason", "stale-revalidation"))
+				delete(s.jreq, r.ID)
+			}
 			continue
 		}
 		s.admitted++
 		ts.Admitted++
+		if jq != nil {
+			jq.dispatch = s.jr.Begin(jq.trace, jq.root, "dispatch", now)
+		}
 		s.startOne(p, r, ts)
 	}
 }
@@ -383,11 +600,17 @@ func (s *Server) dispatcher(p *sim.Proc) {
 // binding sees the standard container proc names; rerouted attempts mint a
 // fresh id (a new pod instance).
 func (s *Server) startOne(p *sim.Proc, r *Request, ts *TenantStat) {
+	jq := s.jreq[r.ID] // nil unless journeys are on
 	for attempt := 0; ; attempt++ {
 		id := r.ID
 		if attempt > 0 {
 			id = retryIDBase + s.retrySeq
 			s.retrySeq++
+		}
+		if jq != nil {
+			jq.attempt = s.jr.Begin(jq.trace, jq.dispatch, "attempt", p.Now(),
+				journey.Int("attempt", attempt), journey.Int("ctr", id))
+			s.jctr[id] = jq // resolves the fleet's OnPlace observer
 		}
 		var host int
 		var sb *cri.Sandbox
@@ -409,6 +632,9 @@ func (s *Server) startOne(p *sim.Proc, r *Request, ts *TenantStat) {
 			}
 		})
 		p.Join(child)
+		if jq != nil {
+			delete(s.jctr, id)
+		}
 
 		if !done || errors.Is(err, fleet.ErrHostDown) {
 			// The attempt died with its host: either the crash killed the
@@ -416,21 +642,23 @@ func (s *Server) startOne(p *sim.Proc, r *Request, ts *TenantStat) {
 			// LostToCrash ledger) or the dispatch landed on a dead host
 			// inside the heartbeat detection window.
 			s.crashLost++
-			if !s.rerouteWait(p, r, attempt) {
-				s.giveUp(ts)
+			if jq != nil {
+				s.jr.End(jq.attempt, p.Now(), journey.A("outcome", "crash-lost"))
+			}
+			if !s.rerouteAttempt(p, r, ts, jq, attempt) {
 				return
 			}
-			s.rerouted++
 			continue
 		}
 		if errors.Is(err, fleet.ErrAllHostsDown) {
 			// Every host is out of service: back off toward recovery
 			// instead of hot-polling a dark fleet.
-			if !s.rerouteWait(p, r, attempt) {
-				s.giveUp(ts)
+			if jq != nil {
+				s.jr.End(jq.attempt, p.Now(), journey.A("outcome", "all-hosts-down"))
+			}
+			if !s.rerouteAttempt(p, r, ts, jq, attempt) {
 				return
 			}
-			s.rerouted++
 			continue
 		}
 		if err != nil {
@@ -438,22 +666,69 @@ func (s *Server) startOne(p *sim.Proc, r *Request, ts *TenantStat) {
 			// recorded on the fleet and surface from Finish.
 			s.failed++
 			ts.Failed++
+			if jq != nil {
+				outcome := "error"
+				if fault.IsFault(err) {
+					outcome = "fault"
+				}
+				now := p.Now()
+				s.jr.End(jq.attempt, now, journey.A("outcome", outcome))
+				s.jr.End(jq.dispatch, now)
+				s.jr.End(jq.root, now, journey.A("outcome", "failed"), journey.A("reason", outcome))
+				delete(s.jreq, r.ID)
+			}
 			return
+		}
+		now := p.Now()
+		sojourn := now - s.t0 - r.At
+		podSpan := -1
+		if jq != nil {
+			// Copy the startup telemetry stage spans into the attempt
+			// eagerly: a later crash of this host boots a fresh generation
+			// with a fresh recorder, so these spans must be taken now.
+			for _, sp := range s.F.Hosts[host].StartupSpans(id) {
+				sid := s.jr.Begin(jq.trace, jq.attempt, string(sp.Stage), sp.Start)
+				s.jr.End(sid, sp.End)
+			}
+			s.jr.End(jq.attempt, now, journey.A("outcome", "ok"),
+				journey.Int("host", host), journey.Dur("took", took))
+			s.jr.End(jq.dispatch, now)
+			s.jr.Annotate(jq.root, journey.A("outcome", "completed"), journey.Dur("sojourn", sojourn))
+			if s.Cfg.Lifetime >= 0 {
+				podSpan = s.jr.Begin(jq.trace, jq.root, "pod", now, journey.Int("host", host))
+			}
 		}
 		if s.Cfg.Lifetime >= 0 {
 			// Retire the pod after its lifetime: the VF detaches on a live
 			// host while new starts attach — the churn regime.
 			host, sb, id := host, sb, id
+			jq, podSpan := jq, podSpan
 			s.F.K.Go(fmt.Sprintf("pod-%d", id), func(pp *sim.Proc) {
 				pp.Sleep(s.Cfg.Lifetime)
 				s.F.Release(pp, host, sb)
+				if jq != nil {
+					end := pp.Now()
+					s.jr.End(podSpan, end)
+					s.jr.End(jq.root, end)
+				}
 			})
+		} else if jq != nil {
+			s.jr.End(jq.root, now)
 		}
-		sojourn := p.Now() - s.t0 - r.At
+		if jq != nil {
+			delete(s.jreq, r.ID)
+		}
 		s.completed++
 		ts.Completed++
 		s.sojourns.Add(sojourn)
 		ts.Sojourns.Add(sojourn)
+		if s.sojournHist != nil {
+			if s.jr != nil {
+				s.sojournHist.ObserveExemplar(sojourn.Seconds(), r.ID, now)
+			} else {
+				s.sojournHist.Observe(sojourn.Seconds())
+			}
+		}
 		if sojourn <= s.Cfg.SLO {
 			s.good++
 		}
@@ -465,6 +740,29 @@ func (s *Server) startOne(p *sim.Proc, r *Request, ts *TenantStat) {
 		}
 		return
 	}
+}
+
+// rerouteAttempt wraps rerouteWait with the journey reroute-wait span and
+// the give-up accounting: true means the caller should retry the start.
+func (s *Server) rerouteAttempt(p *sim.Proc, r *Request, ts *TenantStat, jq *jreq, attempt int) bool {
+	began := p.Now()
+	ok := s.rerouteWait(p, r, attempt)
+	if jq != nil {
+		w := s.jr.Begin(jq.trace, jq.dispatch, "reroute-wait", began, journey.Int("attempt", attempt))
+		s.jr.End(w, p.Now())
+	}
+	if !ok {
+		s.giveUp(ts)
+		if jq != nil {
+			now := p.Now()
+			s.jr.End(jq.dispatch, now)
+			s.jr.End(jq.root, now, journey.A("outcome", "failed"), journey.A("reason", "reroute-give-up"))
+			delete(s.jreq, r.ID)
+		}
+		return false
+	}
+	s.rerouted++
+	return true
 }
 
 // rerouteWait decides whether a crash-lost attempt retries: false once
@@ -499,10 +797,16 @@ func (s *Server) giveUp(ts *TenantStat) {
 	s.crashGiveups++
 	s.failed++
 	ts.Failed++
+	ts.GiveUps++
 }
 
 // finish seals the run: fleet observers, audits, and the serving result.
 func (s *Server) finish() *Result {
+	if s.jr != nil {
+		// Close still-open spans (pods whose retirement proc died with a
+		// crashed host) before the fleet audit mutates anything.
+		s.jr.Seal(time.Duration(s.F.K.Now()))
+	}
 	fres := s.F.Finish()
 	s.sojourns.Sort()
 	for _, ts := range s.tenants {
@@ -528,6 +832,11 @@ func (s *Server) finish() *Result {
 		CrashLost:     s.crashLost,
 		Rerouted:      s.rerouted,
 		CrashGiveups:  s.crashGiveups,
+		ShedQueueFull: s.shedQueueFull,
+		ShedPolicy:    s.shedPolicy,
+		Journey:       s.jr,
+		Alerts:        s.alerts,
+		SojournHist:   s.sojournHist,
 		Fleet:         fres,
 		Err:           fres.Err,
 	}
@@ -565,6 +874,18 @@ type Result struct {
 	CrashLost    int
 	Rerouted     int
 	CrashGiveups int
+
+	// Shed-reason split: ShedAdmission == ShedQueueFull + ShedPolicy, and
+	// ShedQueue is entirely stale-revalidation.
+	ShedQueueFull int
+	ShedPolicy    int
+
+	// Journey is the per-request trace recorder (nil unless Config.Journeys);
+	// Alerts the evaluated alert engine (nil unless Config.AlertSpec);
+	// SojournHist the sojourn histogram (nil unless Config.Metrics).
+	Journey     *journey.Recorder
+	Alerts      *journey.Engine
+	SojournHist *metrics.Histogram
 
 	// Fleet is the underlying fleet result (placements, signals, audits,
 	// observers).
@@ -623,13 +944,15 @@ func (r *Result) header() []byte {
 		r.Baseline, r.Policy, r.PlacePolicy, r.Hosts, fmtRate(r.OfferedRate), r.Window, r.SLO)
 	b = fmt.Appendf(b, "arrived %d admitted %d shed-adm %d shed-queue %d completed %d failed %d good %d\n",
 		r.Arrived, r.Admitted, r.ShedAdmission, r.ShedQueue, r.Completed, r.Failed, r.Good)
+	b = fmt.Appendf(b, "shed-reasons queue-full=%d policy=%d stale=%d giveup=%d\n",
+		r.ShedQueueFull, r.ShedPolicy, r.ShedQueue, r.CrashGiveups)
 	if r.Fleet != nil && (r.Fleet.HostCrashes > 0 || r.Fleet.DaemonCrashes > 0) {
 		b = fmt.Appendf(b, "reroute lost=%d rerouted=%d gaveup=%d\n",
 			r.CrashLost, r.Rerouted, r.CrashGiveups)
 	}
 	for _, t := range r.Tenants {
-		b = fmt.Appendf(b, "tenant %s prio=%s arrived=%d admitted=%d shed=%d completed=%d failed=%d\n",
-			t.Name, t.Priority, t.Arrived, t.Admitted, t.Shed, t.Completed, t.Failed)
+		b = fmt.Appendf(b, "tenant %s prio=%s arrived=%d admitted=%d shed=%d qf=%d pol=%d stale=%d completed=%d failed=%d\n",
+			t.Name, t.Priority, t.Arrived, t.Admitted, t.Shed, t.ShedQueueFull, t.ShedPolicy, t.ShedStale, t.Completed, t.Failed)
 	}
 	for _, d := range r.Sojourns.Values() {
 		b = fmt.Appendf(b, "sojourn %d\n", d)
@@ -644,7 +967,20 @@ func (r *Result) Canonical() []byte { return append(r.header(), r.Fleet.Canonica
 
 // Fingerprint extends Canonical with the fleet's audit outcome and observer
 // digests — everything a determinism double-run must reproduce exactly.
-func (r *Result) Fingerprint() []byte { return append(r.header(), r.Fleet.Fingerprint()...) }
+// Journey and alert digests append only when those observers were
+// attached, so unattached fingerprints keep their pre-journey encoding.
+func (r *Result) Fingerprint() []byte {
+	b := append(r.header(), r.Fleet.Fingerprint()...)
+	if r.Journey != nil {
+		b = fmt.Appendf(b, "journeys spans=%d roots=%d fp=%016x\n",
+			r.Journey.Len(), r.Journey.Roots(), r.Journey.Fingerprint())
+	}
+	if r.Alerts != nil {
+		b = fmt.Appendf(b, "alerts events=%d fp=%016x\n",
+			len(r.Alerts.Events()), r.Alerts.Fingerprint())
+	}
+	return b
+}
 
 // Run is the one-call serving experiment: boot, serve the window, seal.
 func Run(cfg Config) (*Result, error) {

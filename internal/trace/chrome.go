@@ -10,9 +10,11 @@ import (
 	"fastiov/internal/telemetry"
 )
 
-// chromeEvent is one Chrome trace-event object. Timestamps and durations
-// are microseconds (float, so sub-µs simulation costs survive).
-type chromeEvent struct {
+// ChromeEvent is one Chrome trace-event object. Timestamps and durations
+// are microseconds (float, so sub-µs simulation costs survive). It is
+// exported so other observers (the request-journey recorder) can emit
+// track groups through the same writer, sharing the same clock.
+type ChromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat,omitempty"`
 	Ph   string            `json:"ph"`
@@ -23,23 +25,49 @@ type chromeEvent struct {
 	Args map[string]string `json:"args,omitempty"`
 }
 
-const chromePID = 1 // single simulated host
+const chromePID = 1 // the simulated host's kernel-trace process group
 
-func us(d sim.Duration) float64 { return float64(d) / 1e3 }
+// US converts a simulated duration to trace-event microseconds.
+func US(d sim.Duration) float64 { return float64(d) / 1e3 }
 
-func durp(d sim.Duration) *float64 {
-	v := us(d)
+// DurP returns a duration operand for a complete ("X") event.
+func DurP(d sim.Duration) *float64 {
+	v := US(d)
 	return &v
 }
 
-// WriteChrome exports the analyzed trace as Chrome trace-event JSON,
-// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Procs render
-// as threads; sleeps, waits, and telemetry stage spans render as complete
-// ("X") events. rec may be nil to omit stage spans. The output is a pure
-// function of its inputs: metadata first, then per-proc events in proc-id
-// order, one JSON object per line, so seed-fixed reruns are byte-identical.
-func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder) error {
-	var events []chromeEvent
+func us(d sim.Duration) float64    { return US(d) }
+func durp(d sim.Duration) *float64 { return DurP(d) }
+
+// WriteChromeEvents writes a pre-built event list as Chrome trace-event
+// JSON, one object per line (keeps diffs and golden files reviewable).
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
+
+// ChromeEvents builds the kernel-trace event list: process/thread metadata
+// first, then telemetry stage spans, then per-proc service/wait intervals,
+// in proc-id order. The output is a pure function of its inputs, so
+// seed-fixed reruns are byte-identical.
+func ChromeEvents(a *Analysis, rec *telemetry.Recorder, bind Binder) []ChromeEvent {
+	var events []ChromeEvent
 
 	ids := make([]int, 0, len(a.t.names))
 	for id := range a.t.names {
@@ -47,12 +75,12 @@ func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder)
 	}
 	sort.Ints(ids)
 
-	events = append(events, chromeEvent{
+	events = append(events, ChromeEvent{
 		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
 		Args: map[string]string{"name": "fastiov-sim"},
 	})
 	for _, id := range ids {
-		events = append(events, chromeEvent{
+		events = append(events, ChromeEvent{
 			Name: "thread_name", Ph: "M", PID: chromePID, TID: id,
 			Args: map[string]string{"name": a.t.ProcName(id)},
 		})
@@ -72,7 +100,7 @@ func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder)
 			if !ok {
 				continue
 			}
-			events = append(events, chromeEvent{
+			events = append(events, ChromeEvent{
 				Name: string(sp.Stage), Cat: "stage", Ph: "X",
 				TS: us(sp.Start), Dur: durp(sp.End - sp.Start),
 				PID: chromePID, TID: tid,
@@ -84,7 +112,7 @@ func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder)
 	// rest are waits on a named primitive.
 	for _, id := range ids {
 		for _, iv := range a.perProc[id] {
-			ev := chromeEvent{
+			ev := ChromeEvent{
 				Ph: "X", TS: us(iv.start), Dur: durp(iv.end - iv.start),
 				PID: chromePID, TID: id,
 			}
@@ -97,24 +125,13 @@ func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder)
 			events = append(events, ev)
 		}
 	}
+	return events
+}
 
-	// One object per line keeps diffs (and golden files) reviewable.
-	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
-		return err
-	}
-	for i, ev := range events {
-		b, err := json.Marshal(ev)
-		if err != nil {
-			return err
-		}
-		sep := ",\n"
-		if i == len(events)-1 {
-			sep = "\n"
-		}
-		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
-			return err
-		}
-	}
-	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
-	return err
+// WriteChrome exports the analyzed trace as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing. Procs render
+// as threads; sleeps, waits, and telemetry stage spans render as complete
+// ("X") events. rec may be nil to omit stage spans.
+func WriteChrome(w io.Writer, a *Analysis, rec *telemetry.Recorder, bind Binder) error {
+	return WriteChromeEvents(w, ChromeEvents(a, rec, bind))
 }
